@@ -1,0 +1,88 @@
+// Ablation: simulated-annealing design choices (paper §4.3).
+//
+// On the challenge scenario (small, known optimum) and the BRITE overlay
+// (large), sweeps:
+//  * the mapping-perturbation probability (the paper perturbs mappings
+//    "with a lower probability" — how much lower matters),
+//  * the cooling rate,
+//  * greedy seeding (SA vs SA+GH).
+//
+// Reports the best objective value reached within a fixed iteration budget,
+// normalized to the greedy heuristic.
+
+#include <iostream>
+
+#include "topo/brite.hpp"
+#include "topo/testbed.hpp"
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+#include "vadapt/annealing.hpp"
+#include "vadapt/greedy.hpp"
+
+using namespace vw;
+using namespace vw::vadapt;
+
+namespace {
+
+struct Scenario {
+  std::string name;
+  CapacityGraph graph;
+  std::vector<Demand> demands;
+  std::size_t n_vms;
+};
+
+void sweep(const Scenario& sc, CsvWriter& csv) {
+  const Objective objective{};
+  const GreedyResult gh = greedy_heuristic(sc.graph, sc.demands, sc.n_vms, objective);
+  RngService rngs(31);
+
+  auto run = [&](const std::string& variant, const AnnealingParams& params, bool seed_gh) {
+    Rng rng = rngs.stream(sc.name + "." + variant);
+    const AnnealingResult result = simulated_annealing(
+        sc.graph, sc.demands, sc.n_vms, objective, params, rng,
+        seed_gh ? std::optional<Configuration>(gh.configuration) : std::nullopt);
+    csv.text_row({sc.name, variant, std::to_string(result.best_evaluation.cost / 1e6),
+                  std::to_string(result.best_evaluation.cost / gh.evaluation.cost)});
+  };
+
+  AnnealingParams base;
+  base.iterations = 20'000;
+  base.trace_stride = base.iterations;
+
+  run("baseline(p_map=0.05,cool=0.999)", base, false);
+  run("baseline+GH", base, true);
+
+  for (double p : {0.0, 0.01, 0.2, 0.5}) {
+    AnnealingParams params = base;
+    params.mapping_perturb_prob = p;
+    run("p_map=" + std::to_string(p), params, false);
+  }
+
+  for (double cool : {0.9, 0.99, 0.9999}) {
+    AnnealingParams params = base;
+    params.cooling = cool;
+    run("cooling=" + std::to_string(cool), params, false);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "# SA ablation: best Eq.1 cost within 20k iterations, normalized to GH\n";
+  CsvWriter csv(std::cout, {"scenario", "variant", "best_cost_mbps", "vs_gh"});
+
+  topo::ChallengeScenario challenge = topo::make_challenge_scenario();
+  sweep(Scenario{"challenge", challenge.graph, challenge.demands, challenge.n_vms}, csv);
+
+  topo::BriteParams bp;
+  bp.nodes = 256;
+  RngService rngs(99);
+  Rng gen = rngs.stream("brite");
+  topo::BriteTopology brite(bp, gen);
+  Rng pick = rngs.stream("hosts");
+  std::vector<Demand> ring;
+  for (std::size_t i = 0; i < 8; ++i) ring.push_back({i, (i + 1) % 8, 20e6});
+  sweep(Scenario{"brite256", brite.overlay_capacity_graph(32, pick), ring, 8}, csv);
+
+  return 0;
+}

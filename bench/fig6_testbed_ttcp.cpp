@@ -1,0 +1,59 @@
+// Figure 6 reproduction (table): pairwise TTCP throughputs on the
+// Northwestern / William & Mary testbed.
+//
+// For each ordered host pair, a ttcp-style bulk TCP transfer runs for 10 s
+// on a fresh instance of the testbed (as the paper measured pairs
+// independently); the steady-state goodput is reported in Mb/s next to the
+// numbers printed in the paper's figure.
+
+#include <iostream>
+#include <map>
+
+#include "topo/testbed.hpp"
+#include "transport/sources.hpp"
+#include "transport/stack.hpp"
+#include "util/csv.hpp"
+
+using namespace vw;
+
+namespace {
+
+double measure_pair(int src_idx, int dst_idx) {
+  sim::Simulator sim;
+  topo::NwuWmTestbed tb = topo::make_nwu_wm_network(sim);
+  const std::vector<net::NodeId> hosts = tb.hosts();
+  transport::TransportStack stack(*tb.network);
+  transport::BulkTcpSource bulk(stack, hosts[static_cast<std::size_t>(src_idx)],
+                                hosts[static_cast<std::size_t>(dst_idx)], 5001);
+  bulk.start();
+  sim.run_until(seconds(12.0));
+  bulk.stop();
+  // Steady-state window: skip the first 2 s of slow start.
+  return bulk.throughput_bps(seconds(2.0), seconds(12.0)) / 1e6;
+}
+
+}  // namespace
+
+int main() {
+  const char* names[] = {"minet-1.cs.northwestern.edu", "minet-2.cs.northwestern.edu",
+                         "lr3.cs.wm.edu", "lr4.cs.wm.edu"};
+  // The paper's measured values (Mb/s) for comparison, indexed [src][dst].
+  const std::map<std::pair<int, int>, double> paper{
+      {{0, 1}, 91.6}, {{1, 0}, 89.8}, {{2, 3}, 74.2}, {{3, 2}, 75.4},
+      {{0, 2}, 9.2},  {{2, 0}, 10.1}, {{0, 3}, 9.6},  {{3, 0}, 10.0},
+      {{1, 2}, 10.2}, {{2, 1}, 10.4}, {{1, 3}, 10.6}, {{3, 1}, 10.8},
+  };
+
+  std::cout << "# Figure 6 (table): pairwise ttcp throughput on the NWU / W&M testbed\n";
+  CsvWriter csv(std::cout, {"src", "dst", "measured_mbps", "paper_mbps"});
+  for (int s = 0; s < 4; ++s) {
+    for (int d = 0; d < 4; ++d) {
+      if (s == d) continue;
+      const double measured = measure_pair(s, d);
+      const auto it = paper.find({s, d});
+      csv.text_row({names[s], names[d], std::to_string(measured),
+                    it != paper.end() ? std::to_string(it->second) : ""});
+    }
+  }
+  return 0;
+}

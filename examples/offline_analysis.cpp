@@ -1,0 +1,76 @@
+// Offline analysis: record now, analyze later.
+//
+// Wren's original deployment mode (the paper's online analysis extends it):
+// the kernel trace is filtered for useful observations and shipped to a
+// repository; analysis replays it offline. This example records a
+// monitored transfer into a portable trace archive, writes it to disk,
+// reads it back, and reproduces the online estimate from the file alone.
+//
+//   $ ./examples/offline_analysis [archive-path]
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "transport/sources.hpp"
+#include "transport/stack.hpp"
+#include "wren/analyzer.hpp"
+#include "wren/offline.hpp"
+
+using namespace vw;
+
+int main(int argc, char** argv) {
+  const std::string path = argc > 1 ? argv[1] : "/tmp/wren-trace.txt";
+
+  // --- capture phase -----------------------------------------------------
+  sim::Simulator sim;
+  net::Network net(sim);
+  const net::NodeId sender = net.add_host("sender");
+  const net::NodeId receiver = net.add_host("receiver");
+  const net::NodeId cross = net.add_host("cross");
+  const net::NodeId sw = net.add_router("switch");
+  net::LinkConfig cfg;
+  cfg.bits_per_sec = 100e6;
+  cfg.prop_delay = micros(50);
+  net.add_link(sender, sw, cfg);
+  net.add_link(cross, sw, cfg);
+  net.add_link(sw, receiver, cfg);
+  net.compute_routes();
+  transport::TransportStack stack(net);
+
+  wren::TraceFacility trace(net, sender, 1 << 20);
+  wren::OnlineAnalyzer online(net, sender);  // for comparison
+
+  transport::CbrUdpSource cbr(stack, cross, receiver, 7000, 35e6, 1000);
+  cbr.start();
+  std::vector<transport::MessagePhase> phases{
+      {.count = 100, .message_bytes = 200'000, .spacing = millis(100), .pause_after = 0}};
+  transport::MessageSource app(stack, sender, receiver, 9000, phases);
+  app.start();
+  sim.run_until(seconds(10.0));
+
+  const auto records = wren::filter_useful(trace.collect());
+  {
+    std::ofstream out(path);
+    wren::write_trace(out, records);
+  }
+  std::cout << "captured " << records.size() << " useful records -> " << path << "\n";
+
+  // --- offline phase (could run anywhere, any time later) ----------------
+  std::ifstream in(path);
+  const auto replayed = wren::read_trace(in);
+  const wren::OfflineResult result = wren::analyze_offline(replayed);
+
+  std::cout << "offline analysis: " << result.flows_analyzed << " flow(s), "
+            << result.observations.size() << " observations\n";
+  for (const auto& [flow, bps] : result.estimates_bps) {
+    std::cout << "  flow to host " << flow.dst << ": " << bps / 1e6
+              << " Mb/s available (truth: 65 Mb/s)\n";
+  }
+  if (auto live = online.available_bandwidth_bps(receiver)) {
+    std::cout << "online analyzer said:   " << *live / 1e6 << " Mb/s\n";
+  }
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Reserved cluster: the paper's fourth adaptation lever — "reserve
+// resources, when possible, to improve performance".
+//
+// A latency-sensitive VM pair shares a 10 Mbps wide-area link with an
+// aggressive bulk transfer. The example shows:
+//   1. without a reservation, the application rides a bufferbloated queue
+//      (srtt inflated ~8x, dozens of loss-recovery episodes);
+//   2. a 4 Mb/s path reservation (token-bucket policed priority queueing)
+//      restores clean latency and zero retransmissions at the same rate;
+//   3. VSched's EDF admission control guarantees an interactive VM its CPU
+//      slice next to a batch VM, with best effort soaking the leftover.
+//
+//   $ ./examples/reserved_cluster
+
+#include <iomanip>
+#include <iostream>
+
+#include "net/network.hpp"
+#include "net/reservation.hpp"
+#include "sim/simulator.hpp"
+#include "transport/sources.hpp"
+#include "transport/stack.hpp"
+#include "vm/vsched.hpp"
+
+using namespace vw;
+
+namespace {
+
+/// One run of the shared-WAN scenario; returns (app rate, app message delay
+/// p50-ish proxy via srtt, retransmissions).
+struct RunResult {
+  double app_mbps = 0;
+  double app_srtt_ms = 0;
+  std::uint64_t retransmissions = 0;
+};
+
+RunResult run_scenario(bool with_reservation) {
+  sim::Simulator sim;
+  net::Network net(sim);
+  const net::NodeId site_a = net.add_host("site-a");
+  const net::NodeId site_b = net.add_host("site-b");
+  const net::NodeId bulk_src = net.add_host("bulk-src");
+  const net::NodeId r1 = net.add_router("r1");
+  const net::NodeId r2 = net.add_router("r2");
+  net::LinkConfig lan;
+  lan.bits_per_sec = 100e6;
+  lan.prop_delay = micros(100);
+  net::LinkConfig wan;
+  wan.bits_per_sec = 10e6;
+  wan.prop_delay = millis(10);
+  net.add_link(site_a, r1, lan);
+  net.add_link(bulk_src, r1, lan);
+  net.add_link(r1, r2, wan);
+  net.add_link(site_b, r2, lan);
+  net.compute_routes();
+
+  transport::TransportStack stack(net);
+  net::ReservationManager reservations(net);
+
+  // The latency-sensitive application: 3 Mb/s of steady messages a -> b.
+  std::vector<transport::MessagePhase> phases{
+      {.count = 2000, .message_bytes = 15'000, .spacing = millis(40), .pause_after = 0}};
+  transport::MessageSource app(stack, site_a, site_b, 9000, phases);
+  app.start();
+
+  if (with_reservation) {
+    // The app's TCP flow key: first ephemeral port on site-a is 49152.
+    const net::FlowKey app_flow{site_a, site_b, 49152, 9000, net::Protocol::kTcp};
+    reservations.reserve_path(app_flow, 4e6);
+  }
+
+  // The aggressor: a bulk ttcp filling the shared WAN link.
+  transport::BulkTcpSource bulk(stack, bulk_src, site_b, 9100);
+  bulk.start();
+
+  sim.run_until(seconds(30.0));
+  RunResult r;
+  r.app_mbps = app.sink().meter().average_bps(seconds(5.0), seconds(30.0)) / 1e6;
+  r.app_srtt_ms = to_seconds(app.connection().srtt()) * 1e3;
+  r.retransmissions = app.connection().retransmissions();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const RunResult unprotected = run_scenario(false);
+  const RunResult protected_run = run_scenario(true);
+
+  std::cout << std::fixed << std::setprecision(2);
+  std::cout << "application (3 Mb/s offered) sharing a 10 Mb/s WAN with a bulk transfer:\n";
+  std::cout << "  without reservation: " << unprotected.app_mbps << " Mb/s, srtt "
+            << unprotected.app_srtt_ms << " ms, " << unprotected.retransmissions
+            << " retransmissions\n";
+  std::cout << "  with 4 Mb/s reservation: " << protected_run.app_mbps << " Mb/s, srtt "
+            << protected_run.app_srtt_ms << " ms, " << protected_run.retransmissions
+            << " retransmissions\n\n";
+
+  // CPU side: VSched guarantees the interactive VM 20% in 5 ms periods
+  // while a batch VM soaks up 70% in 1 s periods.
+  sim::Simulator sim;
+  vm::VSched vsched(sim);
+  const auto interactive = vsched.admit("interactive-vm", {millis(5), millis(1)});
+  const auto batch = vsched.admit("batch-vm", {seconds(1.0), millis(700)});
+  const auto spare = vsched.add_best_effort("spare-vm");
+  sim.run_until(seconds(5.0));
+  vsched.admit("probe", {millis(10), millis(20)});  // forces final accounting (rejected)
+
+  std::cout << "VSched on the host CPU over 5 s:\n";
+  if (interactive) {
+    const auto s = vsched.stats(*interactive);
+    std::cout << "  interactive-vm (1ms/5ms): " << to_seconds(s.cpu_received)
+              << " s CPU, " << s.deadlines_missed << " missed deadlines\n";
+  }
+  if (batch) {
+    const auto s = vsched.stats(*batch);
+    std::cout << "  batch-vm (700ms/1s):      " << to_seconds(s.cpu_received)
+              << " s CPU, " << s.deadlines_missed << " missed deadlines\n";
+  }
+  std::cout << "  spare-vm (best effort):   " << to_seconds(vsched.stats(spare).cpu_received)
+            << " s CPU (leftover)\n";
+  return 0;
+}

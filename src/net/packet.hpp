@@ -1,0 +1,81 @@
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "util/time.hpp"
+
+// The wire-level packet model. Packets are value types; the optional
+// user_data pointer carries opaque upper-layer objects (e.g. an encapsulated
+// VNET Ethernet frame riding in a UDP datagram) without the network layer
+// knowing their type.
+
+namespace vw::net {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = 0xffffffffu;
+
+enum class Protocol : std::uint8_t { kTcp, kUdp };
+
+/// 5-tuple identifying a flow end-to-end.
+struct FlowKey {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  Protocol proto = Protocol::kTcp;
+
+  friend auto operator<=>(const FlowKey&, const FlowKey&) = default;
+
+  /// The reverse direction of this flow (ACK path).
+  FlowKey reversed() const { return FlowKey{dst, src, dst_port, src_port, proto}; }
+};
+
+struct FlowKeyHash {
+  std::size_t operator()(const FlowKey& k) const {
+    std::size_t h = std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(k.src) << 32) | k.dst);
+    const std::uint64_t ports = (static_cast<std::uint64_t>(k.src_port) << 24) |
+                                (static_cast<std::uint64_t>(k.dst_port) << 8) |
+                                static_cast<std::uint64_t>(k.proto);
+    return h ^ (std::hash<std::uint64_t>{}(ports) + 0x9e3779b9u + (h << 6) + (h >> 2));
+  }
+};
+
+struct Packet {
+  FlowKey flow;
+  std::uint32_t payload_bytes = 0;  ///< transport payload carried
+  std::uint32_t header_bytes = 40;  ///< IP+transport header overhead
+
+  // Transport header fields (interpreted by vw::transport).
+  std::uint64_t seq = 0;  ///< TCP: first payload byte offset; UDP: datagram id
+  std::uint64_t ack = 0;  ///< TCP: cumulative ACK (next expected byte)
+  bool is_ack = false;
+  bool syn = false;
+  bool fin = false;
+
+  /// Opaque upper-layer object delivered with the packet (UDP datagrams).
+  std::shared_ptr<const std::any> user_data;
+
+  // Stamped by the network.
+  std::uint64_t id = 0;       ///< unique per Network, for tracing
+  SimTime send_time = 0;      ///< when handed to the source NIC
+  SimTime wire_time = 0;      ///< when serialization onto the first link completed
+
+  std::uint32_t size_bytes() const { return payload_bytes + header_bytes; }
+};
+
+/// What a host-level tap (Wren's packet trace facility) observes.
+enum class TapDirection : std::uint8_t { kOutgoing, kIncoming };
+
+struct TapEvent {
+  TapDirection direction;
+  SimTime timestamp;  ///< NIC serialization completion (out) or delivery (in)
+  const Packet* packet;
+};
+
+using TapFn = std::function<void(const TapEvent&)>;
+
+}  // namespace vw::net

@@ -1,0 +1,85 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace vw::sim {
+
+EventHandle Simulator::schedule_at(SimTime at, Callback cb) {
+  if (at < now_) throw std::invalid_argument("Simulator::schedule_at: time in the past");
+  if (!cb) throw std::invalid_argument("Simulator::schedule_at: empty callback");
+  const std::uint64_t id = next_id_++;
+  queue_.push(Event{at, next_seq_++, id, std::move(cb)});
+  pending_ids_.insert(id);
+  ++live_events_;
+  return EventHandle(id);
+}
+
+bool Simulator::cancel(EventHandle handle) {
+  if (!handle.valid()) return false;
+  auto it = pending_ids_.find(handle.id_);
+  if (it == pending_ids_.end()) return false;  // already executed or cancelled
+  pending_ids_.erase(it);
+  cancelled_.insert(handle.id_);
+  --live_events_;
+  return true;
+}
+
+bool Simulator::pop_and_run_next() {
+  while (!queue_.empty()) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    pending_ids_.erase(ev.id);
+    now_ = ev.at;
+    --live_events_;
+    ++executed_;
+    ev.cb();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run_until(SimTime until) {
+  while (!queue_.empty()) {
+    // Skip cancelled heads without advancing time.
+    if (cancelled_.contains(queue_.top().id)) {
+      cancelled_.erase(queue_.top().id);
+      queue_.pop();
+      continue;
+    }
+    if (queue_.top().at > until) break;
+    pop_and_run_next();
+  }
+  if (now_ < until) now_ = until;
+}
+
+void Simulator::run() {
+  while (pop_and_run_next()) {
+  }
+}
+
+PeriodicTask::PeriodicTask(Simulator& sim, SimTime period, Simulator::Callback cb)
+    : sim_(sim), period_(period), cb_(std::move(cb)) {
+  if (period_ <= 0) throw std::invalid_argument("PeriodicTask: period must be positive");
+  arm();
+}
+
+void PeriodicTask::arm() {
+  pending_ = sim_.schedule_in(period_, [this] {
+    if (!running_) return;
+    cb_();
+    if (running_) arm();
+  });
+}
+
+void PeriodicTask::stop() {
+  if (!running_) return;
+  running_ = false;
+  sim_.cancel(pending_);
+}
+
+}  // namespace vw::sim

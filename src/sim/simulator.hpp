@@ -1,0 +1,116 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "util/time.hpp"
+
+// Discrete-event simulation engine.
+//
+// Properties the rest of the system depends on:
+//  * events at the same virtual time fire in scheduling (FIFO) order, so the
+//    whole system is deterministic;
+//  * events can be cancelled in O(1) (lazily discarded on pop), which the
+//    TCP retransmission timers use heavily;
+//  * the engine is purely single-threaded; "processes" are callbacks.
+
+namespace vw::sim {
+
+/// Opaque handle to a scheduled event, usable to cancel it.
+class EventHandle {
+ public:
+  EventHandle() = default;
+  bool valid() const { return id_ != 0; }
+
+ private:
+  friend class Simulator;
+  explicit EventHandle(std::uint64_t id) : id_(id) {}
+  std::uint64_t id_ = 0;
+};
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current virtual time.
+  SimTime now() const { return now_; }
+
+  /// Schedule `cb` at absolute time `at` (must be >= now()).
+  EventHandle schedule_at(SimTime at, Callback cb);
+
+  /// Schedule `cb` `delay` ns from now (delay >= 0).
+  EventHandle schedule_in(SimTime delay, Callback cb) { return schedule_at(now_ + delay, cb); }
+
+  /// Cancel a previously scheduled event. Safe to call on fired, already
+  /// cancelled, or default-constructed handles (no-op). Returns whether the
+  /// event was live.
+  bool cancel(EventHandle handle);
+
+  /// Run until the event queue drains or virtual time would pass `until`.
+  /// Events exactly at `until` are executed. Leaves now() == min(until,
+  /// last event time) so successive run_until calls compose.
+  void run_until(SimTime until);
+
+  /// Run until the event queue drains completely.
+  void run();
+
+  /// True if a live (uncancelled) event is pending.
+  bool has_pending() const { return live_events_ > 0; }
+
+  /// Total events executed (diagnostics).
+  std::uint64_t events_executed() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;  ///< tie-break: FIFO among same-time events
+    std::uint64_t id;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool pop_and_run_next();
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::size_t live_events_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  // Ids currently live in the queue (scheduled, not executed, not cancelled)
+  // and ids cancelled but not yet lazily discarded from the heap.
+  std::unordered_set<std::uint64_t> pending_ids_;
+  std::unordered_set<std::uint64_t> cancelled_;
+};
+
+/// Repeatedly invokes a callback at a fixed period until stopped.
+class PeriodicTask {
+ public:
+  PeriodicTask(Simulator& sim, SimTime period, Simulator::Callback cb);
+  ~PeriodicTask() { stop(); }
+
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  void stop();
+  bool running() const { return running_; }
+
+ private:
+  void arm();
+
+  Simulator& sim_;
+  SimTime period_;
+  Simulator::Callback cb_;
+  EventHandle pending_;
+  bool running_ = true;
+};
+
+}  // namespace vw::sim

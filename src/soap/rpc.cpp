@@ -1,0 +1,51 @@
+#include "soap/rpc.hpp"
+
+namespace vw::soap {
+
+void RpcRegistry::register_method(const std::string& endpoint, const std::string& method,
+                                  Handler handler) {
+  handlers_[{endpoint, method}] = std::move(handler);
+}
+
+void RpcRegistry::unregister_endpoint(const std::string& endpoint) {
+  for (auto it = handlers_.begin(); it != handlers_.end();) {
+    if (it->first.first == endpoint) {
+      it = handlers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool RpcRegistry::has_endpoint(const std::string& endpoint) const {
+  auto it = handlers_.lower_bound({endpoint, ""});
+  return it != handlers_.end() && it->first.first == endpoint;
+}
+
+XmlNode RpcRegistry::call(const std::string& endpoint, const std::string& method,
+                          const XmlNode& request) const {
+  auto it = handlers_.find({endpoint, method});
+  if (it == handlers_.end()) {
+    throw std::out_of_range("SOAP endpoint/method not found: " + endpoint + "#" + method);
+  }
+
+  // Serialize request through real XML text, as the wire would.
+  const std::string request_doc = to_xml(make_envelope(request));
+  const XmlNode request_body = extract_body(parse_xml(request_doc));
+
+  XmlNode response_body;
+  try {
+    response_body = it->second(request_body);
+  } catch (const std::exception& e) {
+    response_body = make_fault("soap:Server", e.what());
+  }
+
+  const std::string response_doc = to_xml(make_envelope(std::move(response_body)));
+  XmlNode body = extract_body(parse_xml(response_doc));
+  if (is_fault(body)) {
+    throw SoapFault(body.child_text("faultcode"), body.child_text("faultstring"));
+  }
+  return body;
+}
+
+}  // namespace vw::soap

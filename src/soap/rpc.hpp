@@ -1,0 +1,49 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+#include "soap/xml.hpp"
+
+// In-process SOAP RPC: services register method handlers; callers invoke by
+// endpoint + method. Every call round-trips through real XML text (request
+// and response are serialized and re-parsed), so the interface behaves like
+// the paper's gSOAP deployment without sockets.
+
+namespace vw::soap {
+
+/// Thrown to the caller when the service responds with a SOAP Fault.
+class SoapFault : public std::runtime_error {
+ public:
+  SoapFault(std::string code, const std::string& message)
+      : std::runtime_error(message), code_(std::move(code)) {}
+  const std::string& code() const { return code_; }
+
+ private:
+  std::string code_;
+};
+
+class RpcRegistry {
+ public:
+  /// A handler receives the request body element and returns a response body.
+  using Handler = std::function<XmlNode(const XmlNode& request)>;
+
+  /// Register `endpoint` (e.g. "wren://host3") method `method`.
+  void register_method(const std::string& endpoint, const std::string& method, Handler handler);
+  void unregister_endpoint(const std::string& endpoint);
+
+  /// Invoke a method: builds an envelope, serializes, dispatches, parses the
+  /// response envelope. Throws SoapFault when the service faults and
+  /// std::out_of_range when the endpoint/method is unknown.
+  XmlNode call(const std::string& endpoint, const std::string& method,
+               const XmlNode& request) const;
+
+  bool has_endpoint(const std::string& endpoint) const;
+
+ private:
+  std::map<std::pair<std::string, std::string>, Handler> handlers_;
+};
+
+}  // namespace vw::soap

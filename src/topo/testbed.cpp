@@ -1,0 +1,174 @@
+#include "topo/testbed.hpp"
+
+namespace vw::topo {
+
+namespace {
+net::LinkConfig lan_link(double bps) {
+  net::LinkConfig cfg;
+  cfg.bits_per_sec = bps;
+  cfg.prop_delay = micros(50);
+  cfg.queue_limit_bytes = 256 * 1024;
+  return cfg;
+}
+
+net::LinkConfig wan_link(double bps, SimTime delay) {
+  net::LinkConfig cfg;
+  cfg.bits_per_sec = bps;
+  cfg.prop_delay = delay;
+  cfg.queue_limit_bytes = 512 * 1024;
+  return cfg;
+}
+}  // namespace
+
+LanTestbed make_lan_testbed(sim::Simulator& sim, double capacity_bps) {
+  LanTestbed tb;
+  tb.network = std::make_unique<net::Network>(sim);
+  tb.sender = tb.network->add_host("sender");
+  tb.receiver = tb.network->add_host("receiver");
+  tb.cross_source = tb.network->add_host("cross");
+  tb.switch_node = tb.network->add_router("switch");
+  tb.network->add_link(tb.sender, tb.switch_node, lan_link(capacity_bps));
+  tb.network->add_link(tb.cross_source, tb.switch_node, lan_link(capacity_bps));
+  tb.network->add_link(tb.switch_node, tb.receiver, lan_link(capacity_bps));
+  tb.network->compute_routes();
+  return tb;
+}
+
+WanTestbed make_wan_testbed(sim::Simulator& sim, double bottleneck_bps,
+                            SimTime monitored_one_way_extra, std::size_t cross_pairs) {
+  WanTestbed tb;
+  tb.network = std::make_unique<net::Network>(sim);
+  tb.sender = tb.network->add_host("sender");
+  tb.receiver = tb.network->add_host("receiver");
+  tb.router_a = tb.network->add_router("router-a");
+  tb.router_b = tb.network->add_router("router-b");
+  tb.network->add_link(tb.sender, tb.router_a, lan_link(100e6));
+  tb.network->add_link(tb.receiver, tb.router_b, lan_link(100e6));
+  tb.network->add_link(tb.router_a, tb.router_b, wan_link(bottleneck_bps, millis(10)));
+  for (std::size_t i = 0; i < cross_pairs; ++i) {
+    const net::NodeId src = tb.network->add_host("cross-src-" + std::to_string(i));
+    const net::NodeId dst = tb.network->add_host("cross-dst-" + std::to_string(i));
+    tb.network->add_link(src, tb.router_a, lan_link(100e6));
+    tb.network->add_link(dst, tb.router_b, lan_link(100e6));
+    tb.cross_sources.push_back(src);
+    tb.cross_sinks.push_back(dst);
+  }
+  tb.network->compute_routes();
+  // NistNet adds latency to the monitored path only (50 ms RTT in the paper).
+  tb.network->add_endpoint_delay(tb.sender, tb.receiver, monitored_one_way_extra);
+  // The cross-traffic generators see emulated latencies of their own (the
+  // paper used 20..100 ms): stagger them.
+  for (std::size_t i = 0; i < cross_pairs; ++i) {
+    tb.network->add_endpoint_delay(tb.cross_sources[i], tb.cross_sinks[i],
+                                   millis(10 + 15 * static_cast<std::int64_t>(i)));
+  }
+  return tb;
+}
+
+NwuWmTestbed make_nwu_wm_network(sim::Simulator& sim) {
+  NwuWmTestbed tb;
+  tb.network = std::make_unique<net::Network>(sim);
+  tb.minet1 = tb.network->add_host("minet-1.cs.northwestern.edu");
+  tb.minet2 = tb.network->add_host("minet-2.cs.northwestern.edu");
+  tb.lr3 = tb.network->add_host("lr3.cs.wm.edu");
+  tb.lr4 = tb.network->add_host("lr4.cs.wm.edu");
+  tb.nwu_switch = tb.network->add_router("nwu-switch");
+  tb.wm_switch = tb.network->add_router("wm-switch");
+  // NWU machines measure ~90 Mbps to each other (fast ethernet);
+  // W&M machines ~75 Mbps; the shared Abilene path carries ~10 Mbps.
+  tb.network->add_link(tb.minet1, tb.nwu_switch, lan_link(100e6));
+  tb.network->add_link(tb.minet2, tb.nwu_switch, lan_link(100e6));
+  tb.network->add_link(tb.lr3, tb.wm_switch, lan_link(80e6));
+  tb.network->add_link(tb.lr4, tb.wm_switch, lan_link(80e6));
+  tb.network->add_link(tb.nwu_switch, tb.wm_switch, wan_link(12e6, millis(12)));
+  tb.network->compute_routes();
+  return tb;
+}
+
+vadapt::CapacityGraph nwu_wm_capacity_graph() {
+  // The measured TTCP matrix of Figure 6 (Mb/s), hosts in the order
+  // minet-1, minet-2, lr3, lr4.
+  vadapt::CapacityGraph g({0, 1, 2, 3});
+  const double mbps = 1e6;
+  // Intra-NWU.
+  g.set_bandwidth(0, 1, 91.6 * mbps);
+  g.set_bandwidth(1, 0, 89.8 * mbps);
+  // Intra-W&M.
+  g.set_bandwidth(2, 3, 74.2 * mbps);
+  g.set_bandwidth(3, 2, 75.4 * mbps);
+  // Cross-site (shared Abilene connection).
+  for (auto [a, b, f, r] : {std::tuple{0, 2, 9.2, 10.1},
+                            std::tuple{0, 3, 9.6, 10.0},
+                            std::tuple{1, 2, 10.2, 10.4},
+                            std::tuple{1, 3, 10.6, 10.8}}) {
+    g.set_bandwidth(static_cast<std::size_t>(a), static_cast<std::size_t>(b), f * mbps);
+    g.set_bandwidth(static_cast<std::size_t>(b), static_cast<std::size_t>(a), r * mbps);
+  }
+  // Latencies: sub-millisecond inside a site, ~24 ms across.
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      if (i == j) continue;
+      const bool same_site = (i < 2) == (j < 2);
+      g.set_latency(i, j, same_site ? 0.0002 : 0.024);
+    }
+  }
+  return g;
+}
+
+ChallengeScenario make_challenge_scenario(double heavy_bps, double light_bps) {
+  ChallengeScenario sc{vadapt::CapacityGraph({0, 1, 2, 3, 4, 5}), {}, 4};
+  auto& g = sc.graph;
+  const auto domain_of = [](std::size_t h) { return h < 3 ? 1 : 2; };
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = 0; j < 6; ++j) {
+      if (i == j) continue;
+      if (domain_of(i) != domain_of(j)) {
+        g.set_bandwidth(i, j, 10e6);
+        g.set_latency(i, j, 0.020);
+      } else if (domain_of(i) == 1) {
+        g.set_bandwidth(i, j, 100e6);
+        g.set_latency(i, j, 0.0002);
+      } else {
+        g.set_bandwidth(i, j, 1000e6);
+        g.set_latency(i, j, 0.0001);
+      }
+    }
+  }
+  // VMs 0-2: heavy all-to-all; VM 3: light, attached to VM 0.
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      if (i != j) sc.demands.push_back({i, j, heavy_bps});
+    }
+  }
+  sc.demands.push_back({3, 0, light_bps});
+  sc.demands.push_back({0, 3, light_bps});
+  return sc;
+}
+
+std::vector<net::NodeId> ChallengeNetwork::hosts() const {
+  std::vector<net::NodeId> all = domain1_hosts;
+  all.insert(all.end(), domain2_hosts.begin(), domain2_hosts.end());
+  return all;
+}
+
+ChallengeNetwork make_challenge_network(sim::Simulator& sim) {
+  ChallengeNetwork tb;
+  tb.network = std::make_unique<net::Network>(sim);
+  tb.switch1 = tb.network->add_router("switch-domain1");
+  tb.switch2 = tb.network->add_router("switch-domain2");
+  for (int i = 0; i < 3; ++i) {
+    const net::NodeId h = tb.network->add_host("d1-host-" + std::to_string(i));
+    tb.network->add_link(h, tb.switch1, lan_link(100e6));
+    tb.domain1_hosts.push_back(h);
+  }
+  for (int i = 0; i < 3; ++i) {
+    const net::NodeId h = tb.network->add_host("d2-host-" + std::to_string(i));
+    tb.network->add_link(h, tb.switch2, lan_link(1000e6));
+    tb.domain2_hosts.push_back(h);
+  }
+  tb.network->add_link(tb.switch1, tb.switch2, wan_link(10e6, millis(10)));
+  tb.network->compute_routes();
+  return tb;
+}
+
+}  // namespace vw::topo

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "vadapt/problem.hpp"
+
+// Builders for the paper's experimental environments:
+//  * a controlled-load LAN (Figure 2),
+//  * a NistNet-emulated WAN with on/off cross traffic (Figure 3),
+//  * the Northwestern / William & Mary 4-host two-domain testbed
+//    (Figures 4, 6, 8),
+//  * the two-cluster "challenge" scenario (Figures 9 and 10).
+
+namespace vw::topo {
+
+/// Figure 2: sender and cross-traffic source share the switch->receiver
+/// bottleneck on a 100 Mbps LAN.
+struct LanTestbed {
+  std::unique_ptr<net::Network> network;
+  net::NodeId sender = 0;
+  net::NodeId receiver = 0;
+  net::NodeId cross_source = 0;
+  net::NodeId switch_node = 0;
+};
+LanTestbed make_lan_testbed(sim::Simulator& sim, double capacity_bps = 100e6);
+
+/// Figure 3: two sites joined by a bottleneck WAN link; NistNet-style extra
+/// latency on the monitored path; cross-traffic hosts on each side.
+struct WanTestbed {
+  std::unique_ptr<net::Network> network;
+  net::NodeId sender = 0;
+  net::NodeId receiver = 0;
+  std::vector<net::NodeId> cross_sources;
+  std::vector<net::NodeId> cross_sinks;
+  net::NodeId router_a = 0;
+  net::NodeId router_b = 0;
+};
+WanTestbed make_wan_testbed(sim::Simulator& sim, double bottleneck_bps = 30e6,
+                            SimTime monitored_one_way_extra = millis(25),
+                            std::size_t cross_pairs = 3);
+
+/// Figures 4/6/8: minet-1/2 at NWU, lr3/lr4 at W&M, a thin shared
+/// wide-area path between the sites.
+struct NwuWmTestbed {
+  std::unique_ptr<net::Network> network;
+  net::NodeId minet1 = 0;
+  net::NodeId minet2 = 0;
+  net::NodeId lr3 = 0;
+  net::NodeId lr4 = 0;
+  net::NodeId nwu_switch = 0;
+  net::NodeId wm_switch = 0;
+
+  std::vector<net::NodeId> hosts() const { return {minet1, minet2, lr3, lr4}; }
+};
+NwuWmTestbed make_nwu_wm_network(sim::Simulator& sim);
+
+/// The measured capacity graph of the NWU/W&M testbed (the TTCP numbers of
+/// Figure 6), used by the Figure 8 adaptation study.
+vadapt::CapacityGraph nwu_wm_capacity_graph();
+
+/// The Figure 9 challenge scenario: domain 1 is a 100 Mbps cluster
+/// (hosts 0-2), domain 2 a 1000 Mbps cluster (hosts 3-5), joined by a
+/// 10 Mbps inter-domain link. VMs 0-2 talk heavily all-to-all; VM 3 talks
+/// lightly to VM 0. Optimal: VMs 0-2 on domain 2, VM 3 on domain 1.
+struct ChallengeScenario {
+  vadapt::CapacityGraph graph;
+  std::vector<vadapt::Demand> demands;
+  std::size_t n_vms = 4;
+};
+ChallengeScenario make_challenge_scenario(double heavy_bps = 20e6, double light_bps = 1e6);
+
+/// Packet-level version of the challenge scenario (for the end-to-end
+/// adaptation example): two clusters of three hosts behind switches.
+struct ChallengeNetwork {
+  std::unique_ptr<net::Network> network;
+  std::vector<net::NodeId> domain1_hosts;  ///< 100 Mbps cluster
+  std::vector<net::NodeId> domain2_hosts;  ///< 1000 Mbps cluster
+  net::NodeId switch1 = 0;
+  net::NodeId switch2 = 0;
+
+  std::vector<net::NodeId> hosts() const;
+};
+ChallengeNetwork make_challenge_network(sim::Simulator& sim);
+
+}  // namespace vw::topo

@@ -1,0 +1,42 @@
+#include "transport/meter.hpp"
+
+#include <stdexcept>
+
+namespace vw::transport {
+
+void RateMeter::add(SimTime t, std::uint64_t bytes) {
+  if (!events_.empty() && t < events_.back().time) {
+    throw std::invalid_argument("RateMeter::add: time went backwards");
+  }
+  events_.push_back(Event{t, bytes});
+  total_ += bytes;
+}
+
+double RateMeter::average_bps(SimTime t0, SimTime t1) const {
+  if (t1 <= t0) return 0.0;
+  std::uint64_t bytes = 0;
+  for (const auto& e : events_) {
+    if (e.time >= t0 && e.time <= t1) bytes += e.bytes;
+  }
+  return static_cast<double>(bytes) * 8.0 / to_seconds(t1 - t0);
+}
+
+std::vector<RatePoint> RateMeter::series(SimTime bucket) const {
+  if (bucket <= 0) throw std::invalid_argument("RateMeter::series: bucket must be positive");
+  std::vector<RatePoint> out;
+  if (events_.empty()) return out;
+  const SimTime end = events_.back().time;
+  const auto n_buckets = static_cast<std::size_t>(end / bucket) + 1;
+  std::vector<std::uint64_t> bytes(n_buckets, 0);
+  for (const auto& e : events_) {
+    bytes[static_cast<std::size_t>(e.time / bucket)] += e.bytes;
+  }
+  out.reserve(n_buckets);
+  for (std::size_t i = 0; i < n_buckets; ++i) {
+    out.push_back(RatePoint{static_cast<SimTime>(i + 1) * bucket,
+                            static_cast<double>(bytes[i]) * 8.0 / to_seconds(bucket)});
+  }
+  return out;
+}
+
+}  // namespace vw::transport

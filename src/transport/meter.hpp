@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/time.hpp"
+
+// Records (time, byte-count) deltas and reports throughput series — used by
+// every harness to plot "application throughput" the way the paper does.
+
+namespace vw::transport {
+
+struct RatePoint {
+  SimTime time;   ///< end of the bucket
+  double bps;     ///< average rate within the bucket
+};
+
+class RateMeter {
+ public:
+  /// Record `bytes` transferred at virtual time `t` (monotone non-decreasing).
+  void add(SimTime t, std::uint64_t bytes);
+
+  std::uint64_t total_bytes() const { return total_; }
+
+  /// Average rate over [t0, t1].
+  double average_bps(SimTime t0, SimTime t1) const;
+
+  /// Bucketed throughput series from time 0 to the last event, bucket width
+  /// `bucket` ns. Empty buckets yield 0.
+  std::vector<RatePoint> series(SimTime bucket) const;
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t bytes;
+  };
+  std::vector<Event> events_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace vw::transport

@@ -1,0 +1,27 @@
+#include "transport/udp.hpp"
+
+namespace vw::transport {
+
+UdpSocket::UdpSocket(TransportStack& stack, net::NodeId host, std::uint16_t port)
+    : stack_(stack), host_(host), port_(port) {}
+
+UdpSocket::~UdpSocket() { stack_.unregister_udp(host_, port_); }
+
+void UdpSocket::send_to(net::NodeId dst, std::uint16_t dst_port, std::uint32_t payload_bytes,
+                        std::shared_ptr<const std::any> data) {
+  net::Packet pkt;
+  pkt.flow = net::FlowKey{host_, dst, port_, dst_port, net::Protocol::kUdp};
+  pkt.payload_bytes = payload_bytes;
+  pkt.header_bytes = 28;  // IP + UDP
+  pkt.seq = next_datagram_id_++;
+  pkt.user_data = std::move(data);
+  ++sent_;
+  stack_.network().send(std::move(pkt));
+}
+
+void UdpSocket::handle_packet(const net::Packet& pkt) {
+  ++received_;
+  if (on_receive_) on_receive_(pkt);
+}
+
+}  // namespace vw::transport

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "net/packet.hpp"
+#include "transport/stack.hpp"
+
+// Connectionless datagram socket. A datagram travels as a single packet of
+// its full size (the links serialize by byte count, so oversized datagrams
+// behave like jumbo frames — VNET UDP encapsulation relies on this).
+
+namespace vw::transport {
+
+class UdpSocket {
+ public:
+  using ReceiveFn = std::function<void(const net::Packet&)>;
+
+  ~UdpSocket();
+
+  UdpSocket(const UdpSocket&) = delete;
+  UdpSocket& operator=(const UdpSocket&) = delete;
+
+  /// Send a datagram of `payload_bytes` to (dst, dst_port); `data` rides
+  /// along opaquely and is handed to the receiver's callback.
+  void send_to(net::NodeId dst, std::uint16_t dst_port, std::uint32_t payload_bytes,
+               std::shared_ptr<const std::any> data = nullptr);
+
+  void set_on_receive(ReceiveFn fn) { on_receive_ = std::move(fn); }
+
+  net::NodeId host() const { return host_; }
+  std::uint16_t port() const { return port_; }
+  std::uint64_t datagrams_sent() const { return sent_; }
+  std::uint64_t datagrams_received() const { return received_; }
+
+ private:
+  friend class TransportStack;
+
+  UdpSocket(TransportStack& stack, net::NodeId host, std::uint16_t port);
+  void handle_packet(const net::Packet& pkt);
+
+  TransportStack& stack_;
+  net::NodeId host_;
+  std::uint16_t port_;
+  std::uint64_t next_datagram_id_ = 0;
+  std::uint64_t sent_ = 0;
+  std::uint64_t received_ = 0;
+  ReceiveFn on_receive_;
+};
+
+}  // namespace vw::transport

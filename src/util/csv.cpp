@@ -1,0 +1,52 @@
+#include "util/csv.hpp"
+
+#include <stdexcept>
+
+namespace vw {
+
+std::string csv_escape(std::string_view cell) {
+  const bool needs_quote = cell.find_first_of(",\"\n") != std::string_view::npos;
+  if (!needs_quote) return std::string(cell);
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter::CsvWriter(std::ostream& out, std::vector<std::string> columns)
+    : out_(out), n_columns_(columns.size()) {
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << csv_escape(columns[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(std::initializer_list<double> cells) {
+  row(std::vector<double>(cells));
+}
+
+void CsvWriter::row(const std::vector<double>& cells) {
+  if (cells.size() != n_columns_) throw std::invalid_argument("CsvWriter: cell count mismatch");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << cells[i];
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+void CsvWriter::text_row(const std::vector<std::string>& cells) {
+  if (cells.size() != n_columns_) throw std::invalid_argument("CsvWriter: cell count mismatch");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << csv_escape(cells[i]);
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+}  // namespace vw

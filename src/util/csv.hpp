@@ -1,0 +1,37 @@
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+// Minimal CSV emitter for the experiment harnesses. Every figure-reproduction
+// binary prints its series as CSV so the rows can be diffed/plotted directly.
+
+namespace vw {
+
+class CsvWriter {
+ public:
+  /// Writes the header row immediately.
+  CsvWriter(std::ostream& out, std::vector<std::string> columns);
+
+  /// Writes one data row; the cell count must match the header.
+  void row(std::initializer_list<double> cells);
+  void row(const std::vector<double>& cells);
+
+  /// Writes one row of already-formatted cells (for mixed text/number rows).
+  void text_row(const std::vector<std::string>& cells);
+
+  std::size_t rows_written() const { return rows_; }
+
+ private:
+  std::ostream& out_;
+  std::size_t n_columns_;
+  std::size_t rows_ = 0;
+};
+
+/// Escape a cell per RFC 4180 (quote when it contains comma/quote/newline).
+std::string csv_escape(std::string_view cell);
+
+}  // namespace vw

@@ -1,0 +1,29 @@
+#include "util/log.hpp"
+
+#include <iomanip>
+
+namespace vw {
+
+namespace {
+constexpr std::string_view level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void Logger::log(LogLevel level, std::string_view component, std::string_view message) {
+  if (!enabled(level)) return;
+  if (clock_) {
+    *sink_ << '[' << std::fixed << std::setprecision(6) << to_seconds(clock_()) << "s] ";
+  }
+  *sink_ << level_name(level) << ' ' << component << ": " << message << '\n';
+}
+
+}  // namespace vw

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <functional>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "util/time.hpp"
+
+// Lightweight leveled logger. Components log through a Logger reference that
+// the owning system wires to the simulator clock, so log lines carry virtual
+// timestamps without the components depending on the simulator.
+
+namespace vw {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+class Logger {
+ public:
+  /// `clock` supplies the current virtual time for timestamps (may be null).
+  Logger(std::ostream* sink, LogLevel level, std::function<SimTime()> clock = nullptr)
+      : sink_(sink), level_(level), clock_(std::move(clock)) {}
+
+  /// A disabled logger (drops everything).
+  Logger() : Logger(nullptr, LogLevel::kOff) {}
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+  bool enabled(LogLevel level) const { return sink_ != nullptr && level >= level_; }
+
+  void log(LogLevel level, std::string_view component, std::string_view message);
+
+  void trace(std::string_view c, std::string_view m) { log(LogLevel::kTrace, c, m); }
+  void debug(std::string_view c, std::string_view m) { log(LogLevel::kDebug, c, m); }
+  void info(std::string_view c, std::string_view m) { log(LogLevel::kInfo, c, m); }
+  void warn(std::string_view c, std::string_view m) { log(LogLevel::kWarn, c, m); }
+  void error(std::string_view c, std::string_view m) { log(LogLevel::kError, c, m); }
+
+ private:
+  std::ostream* sink_;
+  LogLevel level_;
+  std::function<SimTime()> clock_;
+};
+
+/// Convenience formatter: strcat-style message building for log call sites.
+template <typename... Args>
+std::string logcat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << std::forward<Args>(args));
+  return os.str();
+}
+
+}  // namespace vw

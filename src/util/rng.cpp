@@ -1,0 +1,30 @@
+#include "util/rng.hpp"
+
+namespace vw {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t fnv1a(std::uint64_t h, std::string_view s) {
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t RngService::seed_for(std::string_view stream_name) const {
+  std::uint64_t h = fnv1a(kFnvOffset, stream_name);
+  // Mix the root seed in with splitmix64-style finalization for avalanche.
+  h ^= root_seed_ + 0x9e3779b97f4a7c15ull;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+  h = h ^ (h >> 31);
+  return h;
+}
+
+}  // namespace vw

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <string_view>
+
+// Deterministic randomness service.
+//
+// Every stochastic component draws from a named stream derived from a single
+// root seed, so (a) whole-system runs are reproducible from one seed, and
+// (b) adding a new consumer does not perturb the draws of existing ones.
+
+namespace vw {
+
+/// A single random stream (thin wrapper over mt19937_64 with the
+/// distributions the simulator actually needs).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Exponential variate with the given mean (> 0).
+  double exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  /// Normal variate.
+  double normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Bernoulli draw.
+  bool chance(double p) { return std::bernoulli_distribution(p)(engine_); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// Derives child seeds/streams from a root seed and a stream name, using
+/// FNV-1a hashing so stream identity is stable across runs and platforms.
+class RngService {
+ public:
+  explicit RngService(std::uint64_t root_seed) : root_seed_(root_seed) {}
+
+  /// Seed for the named stream (pure function of root seed + name).
+  std::uint64_t seed_for(std::string_view stream_name) const;
+
+  /// A fresh Rng for the named stream.
+  Rng stream(std::string_view stream_name) const { return Rng(seed_for(stream_name)); }
+
+  std::uint64_t root_seed() const { return root_seed_; }
+
+ private:
+  std::uint64_t root_seed_;
+};
+
+}  // namespace vw

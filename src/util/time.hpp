@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+
+// Virtual-time primitives shared by every subsystem.
+//
+// All simulation clocks are integer nanoseconds (SimTime). Integer time keeps
+// event ordering exact and runs bit-identical across platforms, which the
+// reproduction harnesses rely on.
+
+namespace vw {
+
+using SimTime = std::int64_t;  ///< nanoseconds of virtual time
+
+inline constexpr SimTime kNsPerUs = 1'000;
+inline constexpr SimTime kNsPerMs = 1'000'000;
+inline constexpr SimTime kNsPerSec = 1'000'000'000;
+
+/// Convert floating-point seconds to SimTime (rounded to nearest ns).
+constexpr SimTime seconds(double s) {
+  return static_cast<SimTime>(s * static_cast<double>(kNsPerSec) + (s >= 0 ? 0.5 : -0.5));
+}
+
+/// Convert integral milliseconds to SimTime.
+constexpr SimTime millis(std::int64_t ms) { return ms * kNsPerMs; }
+
+/// Convert integral microseconds to SimTime.
+constexpr SimTime micros(std::int64_t us) { return us * kNsPerUs; }
+
+/// Convert SimTime back to floating-point seconds (for reporting only).
+constexpr double to_seconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kNsPerSec);
+}
+
+/// Time needed to serialize `bytes` onto a link of `bits_per_sec` capacity.
+constexpr SimTime transmission_time(std::int64_t bytes, double bits_per_sec) {
+  return seconds(static_cast<double>(bytes) * 8.0 / bits_per_sec);
+}
+
+}  // namespace vw

@@ -1,0 +1,174 @@
+#include "vadapt/annealing.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace vw::vadapt {
+
+namespace {
+
+Path direct_path(const Configuration& conf, const Demand& d) {
+  return Path{conf.mapping[d.src], conf.mapping[d.dst]};
+}
+
+void reset_paths_direct(Configuration& conf, const std::vector<Demand>& demands) {
+  conf.paths.clear();
+  conf.paths.reserve(demands.size());
+  for (const Demand& d : demands) conf.paths.push_back(direct_path(conf, d));
+}
+
+/// Insert a random vertex (not already on the path) at a random interior
+/// position. No-op when every vertex is already on the path.
+void perturb_insert(Path& path, std::size_t n_hosts, Rng& rng) {
+  if (path.size() >= n_hosts) return;
+  std::vector<bool> on_path(n_hosts, false);
+  for (HostIndex h : path) on_path[h] = true;
+  std::vector<HostIndex> candidates;
+  for (HostIndex h = 0; h < n_hosts; ++h) {
+    if (!on_path[h]) candidates.push_back(h);
+  }
+  if (candidates.empty()) return;
+  const HostIndex v = candidates[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(candidates.size()) - 1))];
+  // Interior positions are 1..size-1 (endpoints stay fixed).
+  const auto pos = static_cast<std::size_t>(
+      rng.uniform_int(1, static_cast<std::int64_t>(path.size()) - 1));
+  path.insert(path.begin() + static_cast<std::ptrdiff_t>(pos), v);
+}
+
+/// Delete a random interior vertex; no-op on direct paths.
+void perturb_delete(Path& path, Rng& rng) {
+  if (path.size() <= 2) return;
+  const auto pos = static_cast<std::size_t>(
+      rng.uniform_int(1, static_cast<std::int64_t>(path.size()) - 2));
+  path.erase(path.begin() + static_cast<std::ptrdiff_t>(pos));
+}
+
+/// Swap two distinct interior vertices; no-op when fewer than two.
+void perturb_swap(Path& path, Rng& rng) {
+  if (path.size() <= 3) return;
+  const auto lo = static_cast<std::int64_t>(1);
+  const auto hi = static_cast<std::int64_t>(path.size()) - 2;
+  const auto x = static_cast<std::size_t>(rng.uniform_int(lo, hi));
+  auto y = static_cast<std::size_t>(rng.uniform_int(lo, hi));
+  if (x == y) return;
+  std::swap(path[x], path[y]);
+}
+
+void perturb_mapping(Configuration& conf, std::size_t n_hosts, Rng& rng) {
+  const std::size_t n_vms = conf.mapping.size();
+  if (n_vms == 0) return;
+  std::vector<bool> used(n_hosts, false);
+  for (HostIndex h : conf.mapping) used[h] = true;
+  std::vector<HostIndex> free_hosts;
+  for (HostIndex h = 0; h < n_hosts; ++h) {
+    if (!used[h]) free_hosts.push_back(h);
+  }
+
+  const bool can_move = !free_hosts.empty();
+  const bool can_swap = n_vms >= 2;
+  if (!can_move && !can_swap) return;
+  const bool do_move = can_move && (!can_swap || rng.chance(0.5));
+  if (do_move) {
+    const auto vm = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(n_vms) - 1));
+    const HostIndex target = free_hosts[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(free_hosts.size()) - 1))];
+    conf.mapping[vm] = target;
+  } else {
+    const auto a = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(n_vms) - 1));
+    auto b = static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(n_vms) - 1));
+    if (a == b) b = (b + 1) % n_vms;
+    std::swap(conf.mapping[a], conf.mapping[b]);
+  }
+}
+
+}  // namespace
+
+Configuration random_configuration(const CapacityGraph& graph, const std::vector<Demand>& demands,
+                                   std::size_t n_vms, Rng& rng) {
+  const std::size_t n_hosts = graph.size();
+  if (n_vms > n_hosts) throw std::invalid_argument("random_configuration: more VMs than hosts");
+  std::vector<HostIndex> hosts(n_hosts);
+  std::iota(hosts.begin(), hosts.end(), HostIndex{0});
+  // Fisher-Yates prefix shuffle.
+  for (std::size_t i = 0; i < n_vms; ++i) {
+    const auto j = static_cast<std::size_t>(
+        rng.uniform_int(static_cast<std::int64_t>(i), static_cast<std::int64_t>(n_hosts) - 1));
+    std::swap(hosts[i], hosts[j]);
+  }
+  Configuration conf;
+  conf.mapping.assign(hosts.begin(), hosts.begin() + static_cast<std::ptrdiff_t>(n_vms));
+  reset_paths_direct(conf, demands);
+  return conf;
+}
+
+AnnealingResult simulated_annealing(const CapacityGraph& graph,
+                                    const std::vector<Demand>& demands, std::size_t n_vms,
+                                    const Objective& objective, const AnnealingParams& params,
+                                    Rng rng, std::optional<Configuration> initial) {
+  const std::size_t n_hosts = graph.size();
+
+  Configuration current =
+      initial ? std::move(*initial) : random_configuration(graph, demands, n_vms, rng);
+  if (current.paths.size() != demands.size()) reset_paths_direct(current, demands);
+
+  Evaluation current_eval = evaluate(graph, demands, current, objective);
+
+  AnnealingResult result;
+  result.best = current;
+  result.best_evaluation = current_eval;
+
+  double temperature = params.initial_temperature;
+  if (temperature <= 0) {
+    temperature = std::max(std::abs(current_eval.cost) * 0.1, 1.0);
+  }
+
+  for (std::size_t iter = 0; iter < params.iterations; ++iter) {
+    // --- perturbation function -------------------------------------------
+    Configuration candidate = current;
+    if (rng.chance(params.mapping_perturb_prob)) {
+      perturb_mapping(candidate, n_hosts, rng);
+      reset_paths_direct(candidate, demands);  // new mapping invalidates paths
+    } else {
+      for (Path& path : candidate.paths) {
+        const double u = rng.uniform(0.0, 3.0);
+        if (u < 1.0) {
+          perturb_insert(path, n_hosts, rng);
+        } else if (u < 2.0) {
+          perturb_delete(path, rng);
+        } else {
+          perturb_swap(path, rng);
+        }
+      }
+    }
+
+    // --- acceptance --------------------------------------------------------
+    const Evaluation cand_eval = evaluate(graph, demands, candidate, objective);
+    const double dE = cand_eval.cost - current_eval.cost;
+    const bool accept = dE >= 0 || rng.chance(std::exp(dE / temperature));
+    if (accept) {
+      current = std::move(candidate);
+      current_eval = cand_eval;
+      if (current_eval.cost > result.best_evaluation.cost) {
+        result.best = current;
+        result.best_evaluation = current_eval;
+      }
+    }
+
+    if (iter % params.trace_stride == 0) {
+      result.trace.push_back(
+          AnnealingTracePoint{iter, current_eval.cost, result.best_evaluation.cost});
+    }
+    temperature *= params.cooling;
+  }
+
+  result.final_state = std::move(current);
+  result.final_evaluation = current_eval;
+  return result;
+}
+
+}  // namespace vw::vadapt

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "vadapt/problem.hpp"
+
+// Simulated annealing (paper §4.3). State = a configuration; the
+// perturbation function modifies each forwarding path (insert / delete /
+// swap a vertex, probability 1/3 each) and occasionally perturbs the VM
+// mapping itself (which resets the paths); acceptance follows the standard
+// exp(dE/T) rule with geometric cooling. Variants:
+//   SA      — random initial configuration
+//   SA+GH   — seeded with the greedy heuristic's configuration
+//   SA+GH+B — additionally reports the best configuration seen so far
+// (the best-so-far is always tracked; the harness decides what to plot).
+
+namespace vw::vadapt {
+
+struct AnnealingParams {
+  std::size_t iterations = 5000;
+  double initial_temperature = 0;    ///< <=0: auto-scale from the initial cost
+  double cooling = 0.999;            ///< geometric temperature decay per iteration
+  double mapping_perturb_prob = 0.05;
+  std::size_t trace_stride = 1;      ///< record every k-th iteration
+};
+
+struct AnnealingTracePoint {
+  std::size_t iteration = 0;
+  double current_cost = 0;  ///< objective value of the state at this iteration
+  double best_cost = 0;     ///< best objective value seen so far (+B curve)
+};
+
+struct AnnealingResult {
+  Configuration best;
+  Evaluation best_evaluation;
+  Configuration final_state;
+  Evaluation final_evaluation;
+  std::vector<AnnealingTracePoint> trace;
+};
+
+/// A uniformly random valid configuration (injective mapping, direct paths).
+Configuration random_configuration(const CapacityGraph& graph, const std::vector<Demand>& demands,
+                                   std::size_t n_vms, Rng& rng);
+
+AnnealingResult simulated_annealing(const CapacityGraph& graph,
+                                    const std::vector<Demand>& demands, std::size_t n_vms,
+                                    const Objective& objective, const AnnealingParams& params,
+                                    Rng rng,
+                                    std::optional<Configuration> initial = std::nullopt);
+
+}  // namespace vw::vadapt

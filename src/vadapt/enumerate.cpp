@@ -1,0 +1,71 @@
+#include "vadapt/enumerate.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+#include <stdexcept>
+
+#include "vadapt/greedy.hpp"
+
+namespace vw::vadapt {
+
+std::uint64_t mapping_count(std::size_t n_hosts, std::size_t n_vms) {
+  if (n_vms > n_hosts) return 0;
+  std::uint64_t count = 1;
+  for (std::size_t i = 0; i < n_vms; ++i) count *= static_cast<std::uint64_t>(n_hosts - i);
+  return count;
+}
+
+namespace {
+
+void enumerate_mappings(std::size_t n_hosts, std::size_t n_vms, std::vector<HostIndex>& mapping,
+                        std::vector<bool>& used, std::size_t vm,
+                        const std::function<void(const std::vector<HostIndex>&)>& visit) {
+  if (vm == n_vms) {
+    visit(mapping);
+    return;
+  }
+  for (HostIndex h = 0; h < n_hosts; ++h) {
+    if (used[h]) continue;
+    used[h] = true;
+    mapping[vm] = h;
+    enumerate_mappings(n_hosts, n_vms, mapping, used, vm + 1, visit);
+    used[h] = false;
+  }
+}
+
+}  // namespace
+
+ExhaustiveResult exhaustive_search(const CapacityGraph& graph,
+                                   const std::vector<Demand>& demands, std::size_t n_vms,
+                                   const Objective& objective, std::uint64_t max_mappings) {
+  const std::size_t n_hosts = graph.size();
+  if (n_vms > n_hosts) throw std::invalid_argument("exhaustive_search: more VMs than hosts");
+  const std::uint64_t space = mapping_count(n_hosts, n_vms);
+  if (space > max_mappings) {
+    throw std::invalid_argument("exhaustive_search: solution space too large (" +
+                                std::to_string(space) + " mappings)");
+  }
+
+  ExhaustiveResult result;
+  bool have_best = false;
+
+  std::vector<HostIndex> mapping(n_vms);
+  std::vector<bool> used(n_hosts, false);
+  enumerate_mappings(n_hosts, n_vms, mapping, used, 0,
+                     [&](const std::vector<HostIndex>& m) {
+                       ++result.mappings_examined;
+                       Configuration conf;
+                       conf.mapping = m;
+                       conf.paths = greedy_paths(graph, demands, m);
+                       const Evaluation ev = evaluate(graph, demands, conf, objective);
+                       if (!have_best || ev.cost > result.best_evaluation.cost) {
+                         have_best = true;
+                         result.best = std::move(conf);
+                         result.best_evaluation = ev;
+                       }
+                     });
+  return result;
+}
+
+}  // namespace vw::vadapt

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "vadapt/problem.hpp"
+
+// Exhaustive search over VM -> host mappings for small scenarios (the
+// W&M/NWU testbed's solution space is "small enough to enumerate all
+// possible configurations to find the optimal solution"). For each injective
+// mapping, paths are chosen by the deterministic greedy widest-path routing;
+// the optimum is the best (mapping, routed paths) pair.
+
+namespace vw::vadapt {
+
+struct ExhaustiveResult {
+  Configuration best;
+  Evaluation best_evaluation;
+  std::uint64_t mappings_examined = 0;
+};
+
+/// Number of injective mappings: n_hosts P n_vms.
+std::uint64_t mapping_count(std::size_t n_hosts, std::size_t n_vms);
+
+/// Enumerate all injective mappings; throws std::invalid_argument when the
+/// space exceeds `max_mappings` (guard against accidental explosion).
+ExhaustiveResult exhaustive_search(const CapacityGraph& graph,
+                                   const std::vector<Demand>& demands, std::size_t n_vms,
+                                   const Objective& objective = {},
+                                   std::uint64_t max_mappings = 1'000'000);
+
+}  // namespace vw::vadapt

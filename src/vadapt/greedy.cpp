@@ -1,0 +1,111 @@
+#include "vadapt/greedy.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "vadapt/widest_path.hpp"
+
+namespace vw::vadapt {
+
+namespace {
+
+/// "Extract an ordered list with a breadth-first approach, eliminating
+/// duplicates": walk the weight-ordered pair list, appending each endpoint
+/// the first time it appears.
+template <typename Id, typename PairList>
+std::vector<Id> extract_ordered(const PairList& ordered_pairs, std::size_t expected) {
+  std::vector<Id> out;
+  std::set<Id> seen;
+  for (const auto& [a, b, weight] : ordered_pairs) {
+    (void)weight;
+    if (seen.insert(a).second) out.push_back(a);
+    if (seen.insert(b).second) out.push_back(b);
+    if (out.size() >= expected) break;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<HostIndex> greedy_mapping(const CapacityGraph& graph,
+                                      const std::vector<Demand>& demands, std::size_t n_vms) {
+  const std::size_t n_hosts = graph.size();
+  if (n_vms > n_hosts) throw std::invalid_argument("greedy_mapping: more VMs than hosts");
+
+  // (1,2) VM adjacency list ordered by decreasing traffic intensity.
+  std::vector<std::tuple<VmIndex, VmIndex, double>> vm_pairs;
+  for (const Demand& d : demands) vm_pairs.push_back({d.src, d.dst, d.rate_bps});
+  std::stable_sort(vm_pairs.begin(), vm_pairs.end(),
+                   [](const auto& a, const auto& b) { return std::get<2>(a) > std::get<2>(b); });
+
+  // (3) ordered VM list, breadth-first, duplicates eliminated.
+  std::vector<VmIndex> vm_order = extract_ordered<VmIndex>(vm_pairs, n_vms);
+  for (VmIndex v = 0; v < n_vms; ++v) {  // VMs with no traffic come last
+    if (std::find(vm_order.begin(), vm_order.end(), v) == vm_order.end()) vm_order.push_back(v);
+  }
+
+  // (4) widest-path bottleneck between every VNET daemon pair.
+  std::vector<std::tuple<HostIndex, HostIndex, double>> host_pairs;
+  for (HostIndex i = 0; i < n_hosts; ++i) {
+    const WidestPathTree tree = widest_paths(graph.bandwidth_matrix(), i);
+    for (HostIndex j = 0; j < n_hosts; ++j) {
+      if (i == j) continue;
+      const double w = tree.parent[j] ? tree.width[j] : 0;
+      host_pairs.push_back({i, j, w});
+    }
+  }
+  // (5) order by decreasing bottleneck bandwidth.
+  std::stable_sort(host_pairs.begin(), host_pairs.end(),
+                   [](const auto& a, const auto& b) { return std::get<2>(a) > std::get<2>(b); });
+
+  // (6) ordered host list, breadth-first, duplicates eliminated.
+  std::vector<HostIndex> host_order = extract_ordered<HostIndex>(host_pairs, n_hosts);
+  for (HostIndex h = 0; h < n_hosts; ++h) {
+    if (std::find(host_order.begin(), host_order.end(), h) == host_order.end()) {
+      host_order.push_back(h);
+    }
+  }
+
+  // (7) zip the two orders.
+  std::vector<HostIndex> mapping(n_vms);
+  for (std::size_t k = 0; k < n_vms; ++k) mapping[vm_order[k]] = host_order[k];
+  return mapping;
+}
+
+std::vector<Path> greedy_paths(const CapacityGraph& graph, const std::vector<Demand>& demands,
+                               const std::vector<HostIndex>& mapping) {
+  // (1) demands in descending order of communication intensity.
+  std::vector<std::size_t> order(demands.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return demands[a].rate_bps > demands[b].rate_bps;
+  });
+
+  // (2) greedy widest-path mapping on the running residual graph.
+  auto residual = graph.bandwidth_matrix();
+  std::vector<Path> paths(demands.size());
+  for (std::size_t idx : order) {
+    const Demand& d = demands[idx];
+    const HostIndex src = mapping.at(d.src);
+    const HostIndex dst = mapping.at(d.dst);
+    auto path = widest_path_between(residual, src, dst);
+    if (!path) path = Path{src, dst};  // exhausted graph: fall back to the direct edge
+    for (std::size_t i = 0; i + 1 < path->size(); ++i) {
+      residual[(*path)[i]][(*path)[i + 1]] -= d.rate_bps;
+    }
+    paths[idx] = std::move(*path);
+  }
+  return paths;
+}
+
+GreedyResult greedy_heuristic(const CapacityGraph& graph, const std::vector<Demand>& demands,
+                              std::size_t n_vms, const Objective& objective) {
+  GreedyResult result;
+  result.configuration.mapping = greedy_mapping(graph, demands, n_vms);
+  result.configuration.paths = greedy_paths(graph, demands, result.configuration.mapping);
+  result.evaluation = evaluate(graph, demands, result.configuration, objective);
+  return result;
+}
+
+}  // namespace vw::vadapt

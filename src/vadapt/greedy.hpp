@@ -1,0 +1,36 @@
+#pragma once
+
+#include <vector>
+
+#include "vadapt/problem.hpp"
+
+// The greedy heuristic (GH) of paper §4.2: two sequential steps —
+// (1) map VMs to hosts by zipping a traffic-ordered VM list with a
+//     bottleneck-bandwidth-ordered host list;
+// (2) route each VM-pair demand, in decreasing intensity order, on the
+//     widest path of the residual capacity graph (no backtracking).
+
+namespace vw::vadapt {
+
+struct GreedyResult {
+  Configuration configuration;
+  Evaluation evaluation;
+};
+
+/// Step 1 only: the greedy VM -> host mapping.
+std::vector<HostIndex> greedy_mapping(const CapacityGraph& graph,
+                                      const std::vector<Demand>& demands, std::size_t n_vms);
+
+/// Step 2 only: greedy widest-path routing for a fixed mapping. Demands are
+/// routed in descending rate order; each subtracts its rate from the
+/// residual graph. When no strictly positive-width path exists the direct
+/// edge is used (feasibility is reported through the evaluation).
+std::vector<Path> greedy_paths(const CapacityGraph& graph, const std::vector<Demand>& demands,
+                               const std::vector<HostIndex>& mapping);
+
+/// The full heuristic; `objective` only affects the reported evaluation
+/// (GH itself does not consider latency, as the paper notes).
+GreedyResult greedy_heuristic(const CapacityGraph& graph, const std::vector<Demand>& demands,
+                              std::size_t n_vms, const Objective& objective = {});
+
+}  // namespace vw::vadapt

@@ -1,0 +1,58 @@
+#include "vadapt/reservations.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vw::vadapt {
+
+double ReservationPlan::rate_for(HostIndex from, HostIndex to) const {
+  for (const EdgeReservation& e : edges) {
+    if (e.from == from && e.to == to) return e.rate_bps;
+  }
+  return 0.0;
+}
+
+double ReservationPlan::total_rate() const {
+  double total = 0;
+  for (const EdgeReservation& e : edges) total += e.rate_bps;
+  return total;
+}
+
+ReservationPlan plan_reservations(const std::vector<Demand>& demands,
+                                  const Configuration& conf, double headroom) {
+  if (conf.paths.size() != demands.size()) {
+    throw std::invalid_argument("plan_reservations: path/demand count mismatch");
+  }
+  if (headroom < 0) throw std::invalid_argument("plan_reservations: negative headroom");
+
+  std::map<std::pair<HostIndex, HostIndex>, double> per_edge;
+  for (std::size_t d = 0; d < demands.size(); ++d) {
+    const Path& p = conf.paths[d];
+    for (std::size_t i = 0; i + 1 < p.size(); ++i) {
+      per_edge[{p[i], p[i + 1]}] += demands[d].rate_bps;
+    }
+  }
+
+  ReservationPlan plan;
+  for (const auto& [edge, rate] : per_edge) {
+    EdgeReservation r;
+    r.from = edge.first;
+    r.to = edge.second;
+    r.rate_bps = rate * (1.0 + headroom);
+    if (r.rate_bps > 0) plan.edges.push_back(r);
+  }
+  return plan;
+}
+
+ReservationPlan plan_reservations(const CapacityGraph& graph,
+                                  const std::vector<Demand>& demands,
+                                  const Configuration& conf, double headroom) {
+  ReservationPlan plan = plan_reservations(demands, conf, headroom);
+  for (EdgeReservation& e : plan.edges) {
+    e.rate_bps = std::min(e.rate_bps, graph.bandwidth(e.from, e.to));
+  }
+  std::erase_if(plan.edges, [](const EdgeReservation& e) { return e.rate_bps <= 0; });
+  return plan;
+}
+
+}  // namespace vw::vadapt

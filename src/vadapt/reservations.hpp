@@ -1,0 +1,41 @@
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "vadapt/problem.hpp"
+
+// The fourth element of a VADAPT configuration (paper §4.1): "the choice of
+// resource reservations on the network and the hosts, if available".
+// Given the chosen configuration and the demand set, the planner aggregates
+// the demand routed over each overlay edge into a per-edge reservation
+// request (with headroom), which the runtime can then install as physical
+// path reservations for the VNET links that realize those edges.
+
+namespace vw::vadapt {
+
+struct EdgeReservation {
+  HostIndex from = 0;
+  HostIndex to = 0;
+  double rate_bps = 0;
+};
+
+struct ReservationPlan {
+  std::vector<EdgeReservation> edges;
+
+  double rate_for(HostIndex from, HostIndex to) const;
+  double total_rate() const;
+};
+
+/// Aggregate each demand's rate over every edge of its path, scaled by
+/// (1 + headroom). Uncapped: physical admission control decides later.
+ReservationPlan plan_reservations(const std::vector<Demand>& demands,
+                                  const Configuration& conf, double headroom = 0.25);
+
+/// As above, but each edge is additionally capped at the graph's available
+/// bandwidth (a reservation cannot exceed what the path offers).
+ReservationPlan plan_reservations(const CapacityGraph& graph,
+                                  const std::vector<Demand>& demands,
+                                  const Configuration& conf, double headroom = 0.25);
+
+}  // namespace vw::vadapt

@@ -1,0 +1,70 @@
+#include "vadapt/widest_path.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+namespace vw::vadapt {
+
+std::optional<Path> WidestPathTree::path_to(HostIndex dst) const {
+  if (dst == source) return Path{source};
+  if (!parent[dst]) return std::nullopt;
+  Path path;
+  HostIndex at = dst;
+  while (at != source) {
+    path.push_back(at);
+    at = *parent[at];
+  }
+  path.push_back(source);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+WidestPathTree widest_paths(const std::vector<std::vector<double>>& capacity, HostIndex source) {
+  const std::size_t n = capacity.size();
+  WidestPathTree tree;
+  tree.source = source;
+  tree.width.assign(n, -std::numeric_limits<double>::infinity());
+  tree.parent.assign(n, std::nullopt);
+  tree.width[source] = std::numeric_limits<double>::infinity();
+
+  using Item = std::pair<double, HostIndex>;  // (width, vertex), max-first
+  std::priority_queue<Item> pq;
+  pq.push({tree.width[source], source});
+  std::vector<bool> done(n, false);
+
+  while (!pq.empty()) {
+    auto [w, u] = pq.top();
+    pq.pop();
+    if (done[u]) continue;
+    done[u] = true;
+    for (HostIndex v = 0; v < n; ++v) {
+      if (v == u || done[v]) continue;
+      const double edge = capacity[u][v];
+      if (edge <= 0) continue;  // absent or exhausted edge
+      const double through = std::min(w, edge);
+      if (through > tree.width[v]) {
+        tree.width[v] = through;
+        tree.parent[v] = u;
+        pq.push({through, v});
+      }
+    }
+  }
+  return tree;
+}
+
+std::optional<Path> widest_path_between(const std::vector<std::vector<double>>& capacity,
+                                        HostIndex src, HostIndex dst) {
+  return widest_paths(capacity, src).path_to(dst);
+}
+
+double widest_path_width(const std::vector<std::vector<double>>& capacity, HostIndex src,
+                         HostIndex dst) {
+  const WidestPathTree tree = widest_paths(capacity, src);
+  if (src != dst && !tree.parent[dst]) return 0;
+  const double w = tree.width[dst];
+  return std::isfinite(w) ? w : 0;
+}
+
+}  // namespace vw::vadapt

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "vadapt/problem.hpp"
+
+// The adapted Dijkstra of paper §4.2.3: single-source *widest* paths on a
+// weighted directed graph, where the width of a path is the minimum edge
+// capacity along it and we maximize that minimum ("select widest").
+
+namespace vw::vadapt {
+
+struct WidestPathTree {
+  std::vector<double> width;               ///< width[v]: best bottleneck from the source
+  std::vector<std::optional<HostIndex>> parent;  ///< predecessor on the widest path
+  HostIndex source = 0;
+
+  /// Extract the widest path source -> dst; nullopt when unreachable
+  /// (width <= 0 and no parent chain).
+  std::optional<Path> path_to(HostIndex dst) const;
+};
+
+/// Single-source widest paths over an explicit capacity matrix
+/// (capacity[u][v] <= 0 means "no usable edge").
+WidestPathTree widest_paths(const std::vector<std::vector<double>>& capacity, HostIndex source);
+
+/// Convenience: widest path between two vertices; nullopt when unreachable.
+std::optional<Path> widest_path_between(const std::vector<std::vector<double>>& capacity,
+                                        HostIndex src, HostIndex dst);
+
+/// Bottleneck width of the widest path src -> dst; 0 when unreachable.
+double widest_path_width(const std::vector<std::vector<double>>& capacity, HostIndex src,
+                         HostIndex dst);
+
+}  // namespace vw::vadapt

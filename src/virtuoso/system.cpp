@@ -1,0 +1,320 @@
+#include "virtuoso/system.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace vw::virtuoso {
+
+namespace {
+
+// --- control-plane report encodings -----------------------------------------
+
+std::string fmt_double(double v) {
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  return std::string(buf, ptr);
+}
+
+std::uint64_t parse_u64(const std::string& s) { return std::stoull(s); }
+
+soap::XmlNode encode_vttif_update(net::NodeId reporter, const vttif::TrafficMatrix& matrix) {
+  soap::XmlNode msg;
+  msg.name = "VttifUpdate";
+  msg.attributes["reporter"] = std::to_string(reporter);
+  for (const auto& [key, bits] : matrix.entries()) {
+    soap::XmlNode& e = msg.add_child("entry");
+    e.attributes["src"] = std::to_string(key.first);
+    e.attributes["dst"] = std::to_string(key.second);
+    e.attributes["bits"] = fmt_double(bits);
+  }
+  return msg;
+}
+
+soap::XmlNode encode_wren_report(net::NodeId reporter, const wren::OnlineAnalyzer& analyzer) {
+  soap::XmlNode msg;
+  msg.name = "WrenReport";
+  msg.attributes["reporter"] = std::to_string(reporter);
+  for (net::NodeId peer : analyzer.peers()) {
+    soap::XmlNode& p = msg.add_child("peer");
+    p.attributes["id"] = std::to_string(peer);
+    if (auto bw = analyzer.available_bandwidth_bps(peer)) {
+      p.attributes["bw"] = fmt_double(*bw);
+    }
+    if (auto lat = analyzer.latency_seconds(peer)) {
+      p.attributes["lat"] = fmt_double(*lat);
+    }
+  }
+  return msg;
+}
+
+}  // namespace
+
+VirtuosoSystem::VirtuosoSystem(sim::Simulator& sim, net::Network& network, SystemConfig config)
+    : sim_(sim),
+      network_(network),
+      config_(config),
+      rng_service_(config.seed),
+      stack_(network),
+      overlay_(stack_),
+      reservation_manager_(network),
+      global_vttif_(std::make_unique<vttif::GlobalVttif>(sim, config.vttif)),
+      migration_(sim, network, config.migration) {}
+
+VirtuosoSystem::~VirtuosoSystem() = default;
+
+vnet::VnetDaemon& VirtuosoSystem::add_daemon(net::NodeId host, std::string name, bool is_proxy) {
+  vnet::VnetDaemon& daemon = overlay_.create_daemon(host, name, is_proxy);
+  DaemonRuntime rt;
+  rt.analyzer = std::make_unique<wren::OnlineAnalyzer>(network_, host, config_.wren);
+  rt.service = std::make_unique<wren::WrenService>(registry_, *rt.analyzer,
+                                                   "wren://" + daemon.name());
+  rt.client = std::make_unique<wren::WrenClient>(registry_, "wren://" + daemon.name());
+  rt.local_vttif = std::make_unique<vttif::LocalVttif>(
+      sim_, daemon, config_.vttif_local_period,
+      [this](net::NodeId reporter, const vttif::TrafficMatrix& m) {
+        // Ship the local matrix to the Proxy through the control plane
+        // (the paper: "VTTIF uses VNET to periodically send the local
+        // matrices to the Proxy machine"). Before bootstrap, apply locally.
+        if (control_) {
+          control_->send(reporter, encode_vttif_update(reporter, m));
+        } else {
+          global_vttif_->update_from(reporter, m);
+        }
+      });
+  runtimes_.emplace(host, std::move(rt));
+  return daemon;
+}
+
+void VirtuosoSystem::bootstrap(vnet::LinkProtocol proto) {
+  if (bootstrapped_) throw std::logic_error("VirtuosoSystem: already bootstrapped");
+  overlay_.bootstrap_star(proto);
+
+  // Control plane: daemons ship reports to the Proxy over real TCP
+  // connections; the Proxy folds them into its global views.
+  control_ = std::make_unique<vnet::ControlPlane>(stack_, overlay_.proxy().host());
+  control_->register_handler("VttifUpdate", [this](const soap::XmlNode& msg) {
+    const auto reporter = static_cast<net::NodeId>(parse_u64(msg.attributes.at("reporter")));
+    vttif::TrafficMatrix m;
+    for (const soap::XmlNode& e : msg.children) {
+      if (e.name != "entry") continue;
+      m.add(parse_u64(e.attributes.at("src")), parse_u64(e.attributes.at("dst")),
+            std::stod(e.attributes.at("bits")));
+    }
+    global_vttif_->update_from(reporter, m);
+  });
+  control_->register_handler("WrenReport", [this](const soap::XmlNode& msg) {
+    const auto reporter = static_cast<net::NodeId>(parse_u64(msg.attributes.at("reporter")));
+    for (const soap::XmlNode& p : msg.children) {
+      if (p.name != "peer") continue;
+      const auto peer = static_cast<net::NodeId>(parse_u64(p.attributes.at("id")));
+      if (auto it = p.attributes.find("bw"); it != p.attributes.end()) {
+        view_.update_bandwidth(reporter, peer, std::stod(it->second), sim_.now());
+      }
+      if (auto it = p.attributes.find("lat"); it != p.attributes.end()) {
+        view_.update_latency(reporter, peer, std::stod(it->second), sim_.now());
+      }
+    }
+  });
+
+  for (auto& [host, rt] : runtimes_) start_reporting(host);
+  bootstrapped_ = true;
+}
+
+void VirtuosoSystem::start_reporting(net::NodeId host) {
+  // "VTTIF executes nonblocking calls to Wren to collect updates on
+  // available bandwidth and latency from the local host to other VNET
+  // hosts", then ships them to the Proxy which maintains the global view.
+  DaemonRuntime& rt = runtimes_.at(host);
+  rt.reporter = std::make_unique<sim::PeriodicTask>(
+      sim_, config_.wren_report_period, [this, host] {
+        DaemonRuntime& r = runtimes_.at(host);
+        // The nonblocking SOAP calls against the local Wren service...
+        if (r.client->peers().empty()) return;
+        // ...and the report shipped to the Proxy over the control plane.
+        control_->send(host, encode_wren_report(host, *r.analyzer));
+      });
+}
+
+vm::VirtualMachine& VirtuosoSystem::create_vm(const std::string& name, net::NodeId host,
+                                              std::uint64_t memory_bytes) {
+  auto machine = std::make_unique<vm::VirtualMachine>(sim_, overlay_, next_mac_++, name,
+                                                      memory_bytes);
+  machine->attach(host);
+  vms_.push_back(std::move(machine));
+  return *vms_.back();
+}
+
+wren::OnlineAnalyzer& VirtuosoSystem::wren_on(net::NodeId host) {
+  return *runtimes_.at(host).analyzer;
+}
+
+vadapt::CapacityGraph VirtuosoSystem::capacity_graph() const {
+  std::vector<net::NodeId> hosts = overlay_.daemon_hosts();
+  vadapt::CapacityGraph graph(hosts, config_.default_bandwidth_bps, 0.001);
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    for (std::size_t j = 0; j < hosts.size(); ++j) {
+      if (i == j) continue;
+      if (auto bw = view_.bandwidth_bps(hosts[i], hosts[j])) graph.set_bandwidth(i, j, *bw);
+      if (auto lat = view_.latency_seconds(hosts[i], hosts[j])) graph.set_latency(i, j, *lat);
+    }
+  }
+  return graph;
+}
+
+std::optional<vadapt::VmIndex> VirtuosoSystem::vm_index_for_mac(vnet::MacAddress mac) const {
+  for (std::size_t i = 0; i < vms_.size(); ++i) {
+    if (vms_[i]->mac() == mac) return i;
+  }
+  return std::nullopt;
+}
+
+std::vector<vadapt::Demand> VirtuosoSystem::current_demands() const {
+  std::vector<vadapt::Demand> demands;
+  for (const vttif::TopologyEdge& e : global_vttif_->current_topology().edges) {
+    const auto src = vm_index_for_mac(e.src);
+    const auto dst = vm_index_for_mac(e.dst);
+    if (!src || !dst) continue;
+    demands.push_back(vadapt::Demand{*src, *dst, e.rate_bps});
+  }
+  return demands;
+}
+
+AdaptationOutcome VirtuosoSystem::adapt_now(AdaptationAlgorithm algorithm) {
+  const vadapt::CapacityGraph graph = capacity_graph();
+  const std::vector<vadapt::Demand> demands = current_demands();
+  const std::size_t n_vms = vms_.size();
+
+  vadapt::Configuration conf;
+  vadapt::Evaluation eval;
+  switch (algorithm) {
+    case AdaptationAlgorithm::kGreedy: {
+      auto gh = vadapt::greedy_heuristic(graph, demands, n_vms, config_.objective);
+      conf = std::move(gh.configuration);
+      eval = gh.evaluation;
+      break;
+    }
+    case AdaptationAlgorithm::kAnnealing: {
+      Rng rng = rng_service_.stream("vadapt.sa");
+      auto sa = vadapt::simulated_annealing(graph, demands, n_vms, config_.objective,
+                                            config_.annealing, rng);
+      conf = std::move(sa.best);
+      eval = sa.best_evaluation;
+      break;
+    }
+    case AdaptationAlgorithm::kAnnealingGreedy: {
+      auto gh = vadapt::greedy_heuristic(graph, demands, n_vms, config_.objective);
+      Rng rng = rng_service_.stream("vadapt.sa+gh");
+      auto sa = vadapt::simulated_annealing(graph, demands, n_vms, config_.objective,
+                                            config_.annealing, rng,
+                                            std::move(gh.configuration));
+      conf = std::move(sa.best);
+      eval = sa.best_evaluation;
+      break;
+    }
+  }
+
+  AdaptationOutcome outcome;
+  outcome.migrations = apply_configuration(graph, demands, conf);
+  outcome.configuration = std::move(conf);
+  outcome.evaluation = eval;
+  outcome.demands = demands;
+  outcome.hosts = graph.hosts();
+  if (config_.logger) {
+    config_.logger->info(
+        "vadapt", logcat("adaptation complete: cost=", eval.cost / 1e6, " Mb/s feasible=",
+                         eval.feasible, " demands=", demands.size(), " migrations=",
+                         outcome.migrations));
+  }
+  return outcome;
+}
+
+void VirtuosoSystem::enable_auto_adaptation(AdaptationAlgorithm algorithm, SimTime cooldown) {
+  auto_adapt_enabled_ = true;
+  auto_algorithm_ = algorithm;
+  auto_cooldown_ = cooldown;
+  global_vttif_->set_on_change([this](const vttif::Topology&) {
+    if (!auto_adapt_enabled_) return;
+    const SimTime now = sim_.now();
+    if (auto_adaptations_ > 0 && now - last_auto_adapt_ < auto_cooldown_) return;
+    last_auto_adapt_ = now;
+    ++auto_adaptations_;
+    adapt_now(auto_algorithm_);
+  });
+}
+
+void VirtuosoSystem::disable_auto_adaptation() {
+  auto_adapt_enabled_ = false;
+  global_vttif_->set_on_change(nullptr);
+}
+
+void VirtuosoSystem::release_reservations() {
+  for (net::ReservationId id : reservation_ids_) reservation_manager_.release(id);
+  reservation_ids_.clear();
+}
+
+std::size_t VirtuosoSystem::install_reservations(const AdaptationOutcome& outcome,
+                                                 double headroom) {
+  release_reservations();
+  // Uncapped plan: the physical channels' admission control decides below.
+  const vadapt::ReservationPlan plan =
+      plan_reservations(outcome.demands, outcome.configuration, headroom);
+  std::size_t granted = 0;
+  for (const vadapt::EdgeReservation& edge : plan.edges) {
+    const net::NodeId from_host = outcome.hosts.at(edge.from);
+    const net::NodeId to_host = outcome.hosts.at(edge.to);
+    if (!overlay_.has_daemon_on(from_host)) continue;
+    vnet::VnetDaemon& daemon = overlay_.daemon_on(from_host);
+    const auto link_id = daemon.link_to_host(to_host);
+    if (!link_id) continue;
+    // Find the link object to learn its wire-level flow.
+    for (auto [id, link] : daemon.links()) {
+      if (id != *link_id) continue;
+      if (auto rid = reservation_manager_.reserve_path(link->wire_flow(), edge.rate_bps)) {
+        reservation_ids_.push_back(*rid);
+        ++granted;
+      } else if (config_.logger) {
+        config_.logger->warn("reserve", logcat("reservation denied: ", edge.rate_bps / 1e6,
+                                               " Mb/s on overlay edge ", from_host, "->",
+                                               to_host));
+      }
+      break;
+    }
+  }
+  return granted;
+}
+
+std::size_t VirtuosoSystem::apply_configuration(const vadapt::CapacityGraph& graph,
+                                                const std::vector<vadapt::Demand>& demands,
+                                                const vadapt::Configuration& conf) {
+  if (conf.mapping.size() != vms_.size()) {
+    throw std::invalid_argument("apply_configuration: mapping size != VM count");
+  }
+
+  // Compute the migration set ("compute the differences between the current
+  // mapping and the new mapping and issue migration instructions").
+  std::size_t migrations = 0;
+  for (std::size_t v = 0; v < vms_.size(); ++v) {
+    const net::NodeId target = graph.host(conf.mapping[v]);
+    if (!vms_[v]->attached() || vms_[v]->host() != target) {
+      if (config_.logger) {
+        config_.logger->info("vadapt", logcat("migrating ", vms_[v]->name(), " -> host ",
+                                              target));
+      }
+      migration_.migrate(*vms_[v], target);
+      ++migrations;
+    }
+  }
+
+  // Re-derive the overlay topology and forwarding rules from the paths.
+  overlay_.reset_to_star();
+  for (std::size_t d = 0; d < demands.size() && d < conf.paths.size(); ++d) {
+    const vadapt::Path& p = conf.paths[d];
+    std::vector<net::NodeId> host_path;
+    host_path.reserve(p.size());
+    for (vadapt::HostIndex h : p) host_path.push_back(graph.host(h));
+    overlay_.install_path(host_path, vms_[demands[d].dst]->mac());
+  }
+  return migrations;
+}
+
+}  // namespace vw::virtuoso

@@ -1,0 +1,180 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+#include "net/reservation.hpp"
+#include "sim/simulator.hpp"
+#include "util/log.hpp"
+#include "soap/rpc.hpp"
+#include "transport/stack.hpp"
+#include "vadapt/annealing.hpp"
+#include "vadapt/greedy.hpp"
+#include "vadapt/problem.hpp"
+#include "vadapt/reservations.hpp"
+#include "vm/machine.hpp"
+#include "vm/migration.hpp"
+#include "vnet/control.hpp"
+#include "vnet/overlay.hpp"
+#include "vttif/global.hpp"
+#include "vttif/local.hpp"
+#include "wren/analyzer.hpp"
+#include "wren/service.hpp"
+#include "wren/view.hpp"
+
+// The integrated Virtuoso runtime (paper Figure 5): VNET daemons carry VM
+// traffic over the physical network; Wren passively measures that traffic on
+// every daemon host and serves results over SOAP; VTTIF infers the VM
+// application topology and aggregates both views at the Proxy; VADAPT turns
+// the two matrices into a new configuration (VM mapping + overlay paths)
+// that the system applies through migrations and forwarding-rule updates.
+//
+// Reporting is real: VTTIF matrix pushes and Wren measurement reports are
+// serialized to XML and shipped to the Proxy over TCP control connections
+// crossing the simulated network (vnet::ControlPlane); only adaptation
+// *commands* (migrate / install rules) are issued in-process at the Proxy.
+
+namespace vw::virtuoso {
+
+enum class AdaptationAlgorithm {
+  kGreedy,           ///< GH
+  kAnnealing,        ///< SA from a random start
+  kAnnealingGreedy,  ///< SA+GH (+B best-so-far is always tracked)
+};
+
+struct SystemConfig {
+  wren::WrenParams wren;
+  vttif::GlobalVttifParams vttif;
+  SimTime vttif_local_period = seconds(1.0);
+  SimTime wren_report_period = seconds(1.0);
+  vadapt::Objective objective;
+  vadapt::AnnealingParams annealing;
+  vm::MigrationParams migration;
+  std::uint64_t seed = 42;
+  /// Capacity assumed for daemon pairs Wren has not yet measured.
+  double default_bandwidth_bps = 0;
+  /// Optional event log (adaptations, migrations, reservations). The
+  /// pointee must outlive the system; null disables logging.
+  Logger* logger = nullptr;
+};
+
+struct AdaptationOutcome {
+  vadapt::Configuration configuration;
+  vadapt::Evaluation evaluation;
+  std::size_t migrations = 0;
+  std::vector<vadapt::Demand> demands;
+  std::vector<net::NodeId> hosts;  ///< host order used by the configuration
+};
+
+class VirtuosoSystem {
+ public:
+  VirtuosoSystem(sim::Simulator& sim, net::Network& network, SystemConfig config = {});
+  ~VirtuosoSystem();
+
+  VirtuosoSystem(const VirtuosoSystem&) = delete;
+  VirtuosoSystem& operator=(const VirtuosoSystem&) = delete;
+
+  // --- deployment -----------------------------------------------------------
+  /// Install a VNET daemon (plus Wren analyzer + SOAP service) on a host.
+  vnet::VnetDaemon& add_daemon(net::NodeId host, std::string name, bool is_proxy = false);
+
+  /// Build the star overlay and start VTTIF/Wren reporting. Call after all
+  /// daemons are added.
+  void bootstrap(vnet::LinkProtocol proto = vnet::LinkProtocol::kTcp);
+
+  /// Create a VM and attach it to the daemon on `host`.
+  vm::VirtualMachine& create_vm(const std::string& name, net::NodeId host,
+                                std::uint64_t memory_bytes = 256ull << 20);
+
+  // --- component access -------------------------------------------------------
+  sim::Simulator& simulator() { return sim_; }
+  net::Network& network() { return network_; }
+  transport::TransportStack& stack() { return stack_; }
+  vnet::Overlay& overlay() { return overlay_; }
+  soap::RpcRegistry& registry() { return registry_; }
+  wren::GlobalNetworkView& network_view() { return view_; }
+  vttif::GlobalVttif& global_vttif() { return *global_vttif_; }
+  wren::OnlineAnalyzer& wren_on(net::NodeId host);
+  vm::MigrationEngine& migration() { return migration_; }
+  /// The control plane (valid after bootstrap()).
+  vnet::ControlPlane& control_plane() { return *control_; }
+  const std::vector<std::unique_ptr<vm::VirtualMachine>>& vms() const { return vms_; }
+
+  // --- adaptation inputs -------------------------------------------------------
+  /// The capacity graph VADAPT sees: daemon hosts, bandwidth/latency from
+  /// the Proxy's Wren view (unmeasured pairs get default_bandwidth_bps).
+  vadapt::CapacityGraph capacity_graph() const;
+
+  /// Demands from the current VTTIF topology (VM indices, bits/sec).
+  std::vector<vadapt::Demand> current_demands() const;
+
+  // --- adaptation -------------------------------------------------------------
+  /// Compute a new configuration with the chosen algorithm and apply it:
+  /// migrate VMs and install overlay links + forwarding rules.
+  AdaptationOutcome adapt_now(AdaptationAlgorithm algorithm);
+
+  /// Close the loop: let VTTIF's damped change detection drive adaptation
+  /// automatically ("VTTIF automatically reacts to interesting changes in
+  /// traffic patterns and reports them, driving adaptation"). At most one
+  /// adaptation per `cooldown`.
+  void enable_auto_adaptation(AdaptationAlgorithm algorithm,
+                              SimTime cooldown = seconds(30.0));
+  void disable_auto_adaptation();
+  std::uint64_t auto_adaptations() const { return auto_adaptations_; }
+
+  /// Apply an externally computed configuration.
+  std::size_t apply_configuration(const vadapt::CapacityGraph& graph,
+                                  const std::vector<vadapt::Demand>& demands,
+                                  const vadapt::Configuration& conf);
+
+  /// Configuration element (4): install physical-path reservations backing
+  /// the overlay links the configuration uses (releasing any previously
+  /// installed set first). Returns how many edge reservations were granted.
+  std::size_t install_reservations(const AdaptationOutcome& outcome, double headroom = 0.25);
+
+  /// Release all reservations installed by install_reservations.
+  void release_reservations();
+
+  std::size_t active_reservations() const { return reservation_ids_.size(); }
+
+ private:
+  struct DaemonRuntime {
+    std::unique_ptr<wren::OnlineAnalyzer> analyzer;
+    std::unique_ptr<wren::WrenService> service;
+    std::unique_ptr<wren::WrenClient> client;
+    std::unique_ptr<vttif::LocalVttif> local_vttif;
+    std::unique_ptr<sim::PeriodicTask> reporter;
+  };
+
+  void start_reporting(net::NodeId host);
+  std::optional<vadapt::VmIndex> vm_index_for_mac(vnet::MacAddress mac) const;
+
+  sim::Simulator& sim_;
+  net::Network& network_;
+  SystemConfig config_;
+  RngService rng_service_;
+  transport::TransportStack stack_;
+  vnet::Overlay overlay_;
+  soap::RpcRegistry registry_;
+  std::unique_ptr<vnet::ControlPlane> control_;
+  net::ReservationManager reservation_manager_;
+  std::vector<net::ReservationId> reservation_ids_;
+  wren::GlobalNetworkView view_;
+  std::unique_ptr<vttif::GlobalVttif> global_vttif_;
+  vm::MigrationEngine migration_;
+  std::map<net::NodeId, DaemonRuntime> runtimes_;
+  std::vector<std::unique_ptr<vm::VirtualMachine>> vms_;
+  vnet::MacAddress next_mac_ = 1;
+  bool bootstrapped_ = false;
+  bool auto_adapt_enabled_ = false;
+  AdaptationAlgorithm auto_algorithm_ = AdaptationAlgorithm::kGreedy;
+  SimTime auto_cooldown_ = 0;
+  SimTime last_auto_adapt_ = 0;
+  std::uint64_t auto_adaptations_ = 0;
+};
+
+}  // namespace vw::virtuoso

@@ -1,0 +1,72 @@
+#include "vm/machine.hpp"
+
+#include <stdexcept>
+
+namespace vw::vm {
+
+VirtualMachine::VirtualMachine(sim::Simulator& sim, vnet::Overlay& overlay, vnet::MacAddress mac,
+                               std::string name, std::uint64_t memory_bytes)
+    : sim_(sim), overlay_(overlay), mac_(mac), name_(std::move(name)),
+      memory_bytes_(memory_bytes) {}
+
+VirtualMachine::~VirtualMachine() {
+  if (attached()) detach();
+}
+
+void VirtualMachine::attach(net::NodeId host) {
+  if (attached()) throw std::logic_error("VM already attached");
+  vnet::VnetDaemon& daemon = overlay_.daemon_on(host);
+  daemon.attach_vm(mac_, [this](vnet::FramePtr f) { handle_frame(std::move(f)); });
+  overlay_.register_vm(mac_, daemon);
+  current_daemon_ = &daemon;
+}
+
+void VirtualMachine::detach() {
+  if (!attached()) return;
+  current_daemon_->detach_vm(mac_);
+  overlay_.unregister_vm(mac_);
+  current_daemon_ = nullptr;
+}
+
+net::NodeId VirtualMachine::host() const {
+  if (!attached()) throw std::logic_error("VM not attached");
+  return current_daemon_->host();
+}
+
+void VirtualMachine::send_message(vnet::MacAddress dst, std::uint64_t bytes, std::any tag) {
+  if (!attached()) return;  // paused VMs silently drop (like a stopped guest)
+  if (bytes == 0) return;
+  const std::uint64_t message_id = next_message_id_++;
+  std::uint64_t offset = 0;
+  while (offset < bytes) {
+    const auto chunk = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(vnet::kEthernetMtu, bytes - offset));
+    vnet::EthernetFrame frame;
+    frame.src_mac = mac_;
+    frame.dst_mac = dst;
+    frame.payload_bytes = chunk;
+    frame.fragment.message_id = message_id;
+    frame.fragment.offset = offset;
+    frame.fragment.message_bytes = bytes;
+    if (offset + chunk >= bytes) frame.fragment.tag = tag;  // tag rides the last fragment
+    current_daemon_->inject_from_vm(frame);
+    offset += chunk;
+  }
+  ++messages_sent_;
+}
+
+void VirtualMachine::handle_frame(vnet::FramePtr frame) {
+  bytes_received_ += frame->payload_bytes;
+  const auto key = std::make_pair(frame->src_mac, frame->fragment.message_id);
+  Reassembly& r = reassembly_[key];
+  r.total = frame->fragment.message_bytes;
+  r.received += frame->payload_bytes;
+  if (r.received >= r.total) {
+    ++messages_received_;
+    const std::uint64_t bytes = r.total;
+    reassembly_.erase(key);
+    if (on_message_) on_message_(frame->src_mac, bytes, frame->fragment.tag);
+  }
+}
+
+}  // namespace vw::vm

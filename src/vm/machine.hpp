@@ -1,0 +1,76 @@
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "sim/simulator.hpp"
+#include "vnet/ethernet.hpp"
+#include "vnet/overlay.hpp"
+
+// The virtual machine model. A VM is an endpoint with a MAC address attached
+// to the VNET daemon of whatever host currently runs it. Applications inside
+// the VM send messages to other VMs; the VM fragments them into
+// MTU-sized Ethernet frames, injects them into its daemon, and reassembles
+// arriving fragments back into messages. Everything below the message API
+// travels through the simulated overlay + physical network.
+
+namespace vw::vm {
+
+class VirtualMachine {
+ public:
+  /// (source MAC, message bytes, application tag)
+  using MessageFn = std::function<void(vnet::MacAddress, std::uint64_t, const std::any&)>;
+
+  VirtualMachine(sim::Simulator& sim, vnet::Overlay& overlay, vnet::MacAddress mac,
+                 std::string name, std::uint64_t memory_bytes = 256ull << 20);
+  ~VirtualMachine();
+
+  VirtualMachine(const VirtualMachine&) = delete;
+  VirtualMachine& operator=(const VirtualMachine&) = delete;
+
+  /// Attach this VM's virtual interface to the daemon on `host`.
+  void attach(net::NodeId host);
+  /// Detach (VM paused / mid-migration); frames sent to it meanwhile drop.
+  void detach();
+  bool attached() const { return current_daemon_ != nullptr; }
+  net::NodeId host() const;
+
+  /// Send an application message to another VM; it is fragmented into
+  /// Ethernet frames and routed through VNET.
+  void send_message(vnet::MacAddress dst, std::uint64_t bytes, std::any tag = {});
+
+  void set_on_message(MessageFn fn) { on_message_ = std::move(fn); }
+
+  vnet::MacAddress mac() const { return mac_; }
+  const std::string& name() const { return name_; }
+  std::uint64_t memory_bytes() const { return memory_bytes_; }
+  std::uint64_t messages_sent() const { return messages_sent_; }
+  std::uint64_t messages_received() const { return messages_received_; }
+  std::uint64_t bytes_received() const { return bytes_received_; }
+
+ private:
+  void handle_frame(vnet::FramePtr frame);
+
+  struct Reassembly {
+    std::uint64_t received = 0;
+    std::uint64_t total = 0;
+  };
+
+  sim::Simulator& sim_;
+  vnet::Overlay& overlay_;
+  vnet::MacAddress mac_;
+  std::string name_;
+  std::uint64_t memory_bytes_;
+  vnet::VnetDaemon* current_daemon_ = nullptr;
+  std::uint64_t next_message_id_ = 1;
+  std::map<std::pair<vnet::MacAddress, std::uint64_t>, Reassembly> reassembly_;
+  MessageFn on_message_;
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t messages_received_ = 0;
+  std::uint64_t bytes_received_ = 0;
+};
+
+}  // namespace vw::vm

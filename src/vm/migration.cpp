@@ -1,0 +1,47 @@
+#include "vm/migration.hpp"
+
+#include <cmath>
+
+namespace vw::vm {
+
+MigrationEngine::MigrationEngine(sim::Simulator& sim, net::Network& network,
+                                 MigrationParams params)
+    : sim_(sim), network_(network), params_(params) {}
+
+SimTime MigrationEngine::estimate_duration(const VirtualMachine& machine, net::NodeId from,
+                                           net::NodeId to) const {
+  double bps = network_.path_bottleneck_bps(from, to);
+  if (bps <= 0 || !std::isfinite(bps)) bps = params_.fallback_bps;
+  bps *= params_.bandwidth_efficiency;
+  return params_.fixed_overhead +
+         seconds(static_cast<double>(machine.memory_bytes()) * 8.0 / bps);
+}
+
+void MigrationEngine::migrate(VirtualMachine& machine, net::NodeId target_host, DoneFn on_done) {
+  if (auto it = inflight_.find(&machine); it != inflight_.end()) {
+    // Already mid-migration: re-target; the in-flight completion event will
+    // attach at the latest destination.
+    it->second = Pending{target_host, std::move(on_done)};
+    return;
+  }
+  if (machine.attached() && machine.host() == target_host) {
+    if (on_done) on_done(machine);
+    return;
+  }
+  SimTime duration = params_.fixed_overhead;
+  if (machine.attached()) {
+    duration = estimate_duration(machine, machine.host(), target_host);
+    machine.detach();
+  }
+  ++started_;
+  inflight_[&machine] = Pending{target_host, std::move(on_done)};
+  sim_.schedule_in(duration, [this, &machine] {
+    auto node = inflight_.extract(&machine);
+    Pending pending = std::move(node.mapped());
+    machine.attach(pending.target);
+    ++completed_;
+    if (pending.on_done) pending.on_done(machine);
+  });
+}
+
+}  // namespace vw::vm

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <functional>
+#include <map>
+
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "vm/machine.hpp"
+
+// VM migration: pause, transfer the memory image between hosts (modelled as
+// a delay derived from the image size and the physical bottleneck bandwidth
+// of the routed path, plus a fixed pause/resume overhead), then re-attach at
+// the destination and update the Proxy's MAC registry.
+
+namespace vw::vm {
+
+struct MigrationParams {
+  SimTime fixed_overhead = millis(500);      ///< pause/resume/bookkeeping cost
+  double bandwidth_efficiency = 0.7;         ///< fraction of path bottleneck usable
+  double fallback_bps = 100e6;               ///< used when the path is unknown
+};
+
+class MigrationEngine {
+ public:
+  using DoneFn = std::function<void(VirtualMachine&)>;
+
+  MigrationEngine(sim::Simulator& sim, net::Network& network, MigrationParams params = {});
+
+  /// Start migrating `machine` to `target_host`. The VM detaches immediately
+  /// (frames to it drop while in flight) and re-attaches when the transfer
+  /// completes. No-op when already there. Re-targeting a VM that is already
+  /// mid-migration just updates its destination (and completion callback).
+  void migrate(VirtualMachine& machine, net::NodeId target_host, DoneFn on_done = nullptr);
+
+  bool in_flight(const VirtualMachine& machine) const {
+    return inflight_.contains(&machine);
+  }
+
+  /// Predicted migration duration for planning.
+  SimTime estimate_duration(const VirtualMachine& machine, net::NodeId from,
+                            net::NodeId to) const;
+
+  std::uint64_t migrations_started() const { return started_; }
+  std::uint64_t migrations_completed() const { return completed_; }
+
+ private:
+  struct Pending {
+    net::NodeId target;
+    DoneFn on_done;
+  };
+
+  sim::Simulator& sim_;
+  net::Network& network_;
+  MigrationParams params_;
+  std::map<const VirtualMachine*, Pending> inflight_;
+  std::uint64_t started_ = 0;
+  std::uint64_t completed_ = 0;
+};
+
+}  // namespace vw::vm

@@ -1,0 +1,136 @@
+#include "vm/vsched.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace vw::vm {
+
+VSched::VSched(sim::Simulator& sim, double utilization_limit)
+    : sim_(sim), utilization_limit_(utilization_limit), last_account_(sim.now()) {
+  if (utilization_limit <= 0 || utilization_limit > 1.0) {
+    throw std::invalid_argument("VSched: utilization limit must be in (0, 1]");
+  }
+}
+
+VSched::~VSched() {
+  if (pending_.valid()) sim_.cancel(pending_);
+}
+
+double VSched::admitted_utilization() const {
+  double u = 0;
+  for (const auto& [id, task] : tasks_) u += task.constraint.utilization();
+  return u;
+}
+
+std::optional<VSched::TaskId> VSched::admit(std::string name, VSchedConstraint constraint) {
+  if (constraint.period <= 0 || constraint.slice <= 0 || constraint.slice > constraint.period) {
+    return std::nullopt;
+  }
+  // EDF admission control: total utilization must stay within the limit.
+  if (admitted_utilization() + constraint.utilization() > utilization_limit_ + 1e-12) {
+    return std::nullopt;
+  }
+  account_until(sim_.now());
+  const TaskId id = next_id_++;
+  Task task;
+  task.name = std::move(name);
+  task.constraint = constraint;
+  task.next_deadline = sim_.now() + constraint.period;
+  task.remaining = constraint.slice;
+  tasks_.emplace(id, std::move(task));
+  reschedule();
+  return id;
+}
+
+VSched::TaskId VSched::add_best_effort(std::string name) {
+  const TaskId id = next_id_++;
+  best_effort_.emplace(id, std::move(name));
+  return id;
+}
+
+void VSched::remove(TaskId id) {
+  account_until(sim_.now());
+  tasks_.erase(id);
+  best_effort_.erase(id);
+  reschedule();
+}
+
+VSchedTaskStats VSched::stats(TaskId id) const {
+  if (auto it = tasks_.find(id); it != tasks_.end()) return it->second.stats;
+  if (best_effort_.contains(id)) {
+    VSchedTaskStats s;
+    // Best effort splits the leftover CPU evenly.
+    s.cpu_received = idle_time_ / static_cast<SimTime>(std::max<std::size_t>(
+                         best_effort_.size(), 1));
+    return s;
+  }
+  throw std::out_of_range("VSched::stats: unknown task");
+}
+
+std::optional<VSched::TaskId> VSched::pick_edf() const {
+  std::optional<TaskId> best;
+  SimTime best_deadline = std::numeric_limits<SimTime>::max();
+  for (const auto& [id, task] : tasks_) {
+    if (task.remaining <= 0) continue;
+    if (task.next_deadline < best_deadline) {
+      best_deadline = task.next_deadline;
+      best = id;
+    }
+  }
+  return best;
+}
+
+void VSched::account_until(SimTime now) {
+  const SimTime elapsed = now - last_account_;
+  if (elapsed > 0) {
+    if (running_) {
+      Task& task = tasks_.at(*running_);
+      task.stats.cpu_received += elapsed;
+      task.remaining -= elapsed;
+    } else {
+      idle_time_ += elapsed;
+    }
+  }
+  last_account_ = now;
+
+  // Period boundaries: replenish slices, count misses.
+  for (auto& [id, task] : tasks_) {
+    while (task.next_deadline <= now) {
+      if (task.remaining > 0) {
+        ++task.stats.deadlines_missed;
+      } else {
+        ++task.stats.periods_completed;
+      }
+      task.remaining = task.constraint.slice;
+      task.next_deadline += task.constraint.period;
+    }
+  }
+}
+
+void VSched::reschedule() {
+  if (pending_.valid()) {
+    sim_.cancel(pending_);
+    pending_ = sim::EventHandle{};
+  }
+  running_ = pick_edf();
+
+  // Next interesting instant: the running task exhausting its slice, or any
+  // period boundary (which replenishes slices / may preempt by EDF).
+  SimTime next = std::numeric_limits<SimTime>::max();
+  if (running_) {
+    next = std::min(next, sim_.now() + tasks_.at(*running_).remaining);
+  }
+  for (const auto& [id, task] : tasks_) {
+    next = std::min(next, task.next_deadline);
+  }
+  if (next == std::numeric_limits<SimTime>::max()) return;  // nothing scheduled
+
+  pending_ = sim_.schedule_at(next, [this] {
+    pending_ = sim::EventHandle{};
+    account_until(sim_.now());
+    reschedule();
+  });
+}
+
+}  // namespace vw::vm

@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "sim/simulator.hpp"
+
+// VSched: periodic real-time scheduling of VMs (paper reference [8],
+// Lin & Dinda, SC'05) — the CPU-side counterpart of Virtuoso's network
+// adaptation, listed in the paper as opportunity (4): "reserve resources,
+// when possible, to improve performance".
+//
+// Each VM is admitted with a (period, slice) constraint: it must receive
+// `slice` of CPU within every `period`. Admission control enforces the EDF
+// utilization bound (sum of slice/period <= utilization limit); admitted
+// VMs are scheduled preemptively by earliest deadline first. VMs can also
+// register as best-effort: they share whatever CPU the real-time set leaves
+// over. The scheduler runs on virtual time and reports per-VM received CPU
+// and missed deadlines.
+
+namespace vw::vm {
+
+struct VSchedConstraint {
+  SimTime period = 0;
+  SimTime slice = 0;
+
+  double utilization() const {
+    return period > 0 ? static_cast<double>(slice) / static_cast<double>(period) : 0.0;
+  }
+};
+
+struct VSchedTaskStats {
+  SimTime cpu_received = 0;
+  std::uint64_t periods_completed = 0;
+  std::uint64_t deadlines_missed = 0;
+};
+
+class VSched {
+ public:
+  using TaskId = std::uint64_t;
+
+  /// `utilization_limit` caps admitted real-time load (1.0 = the EDF bound
+  /// for a dedicated core; lower values keep headroom for best effort).
+  explicit VSched(sim::Simulator& sim, double utilization_limit = 1.0);
+  ~VSched();
+
+  VSched(const VSched&) = delete;
+  VSched& operator=(const VSched&) = delete;
+
+  /// Admit a real-time VM; nullopt when the constraint would violate the
+  /// utilization limit (or is malformed). Scheduling starts immediately.
+  std::optional<TaskId> admit(std::string name, VSchedConstraint constraint);
+
+  /// Register a best-effort VM (always admitted; gets leftover CPU).
+  TaskId add_best_effort(std::string name);
+
+  /// Remove a VM from the schedule.
+  void remove(TaskId id);
+
+  /// Total admitted real-time utilization.
+  double admitted_utilization() const;
+
+  /// Stats for one task (throws for unknown ids). Best-effort tasks report
+  /// their share of leftover CPU and no deadline accounting.
+  VSchedTaskStats stats(TaskId id) const;
+
+  /// The real-time task currently holding the CPU; nullopt when the CPU is
+  /// idle or serving best effort.
+  std::optional<TaskId> running() const { return running_; }
+
+  std::size_t task_count() const { return tasks_.size() + best_effort_.size(); }
+
+ private:
+  struct Task {
+    std::string name;
+    VSchedConstraint constraint;
+    SimTime next_deadline = 0;       ///< end of the current period
+    SimTime remaining = 0;           ///< slice left to serve this period
+    VSchedTaskStats stats;
+  };
+
+  void reschedule();
+  void account_until(SimTime now);
+  std::optional<TaskId> pick_edf() const;
+
+  sim::Simulator& sim_;
+  double utilization_limit_;
+  std::map<TaskId, Task> tasks_;
+  std::map<TaskId, std::string> best_effort_;
+  TaskId next_id_ = 1;
+  std::optional<TaskId> running_;
+  SimTime last_account_ = 0;
+  SimTime idle_time_ = 0;  ///< CPU time left to best effort so far
+  sim::EventHandle pending_;
+};
+
+}  // namespace vw::vm

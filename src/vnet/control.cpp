@@ -1,0 +1,53 @@
+#include "vnet/control.hpp"
+
+#include <stdexcept>
+
+namespace vw::vnet {
+
+ControlPlane::ControlPlane(transport::TransportStack& stack, net::NodeId proxy_host,
+                           std::uint16_t port)
+    : stack_(stack), proxy_host_(proxy_host), port_(port) {
+  stack_.tcp_listen(proxy_host_, port_, [this](transport::TcpConnection& conn) {
+    conn.set_on_message([this](std::uint64_t, const std::any& tag) {
+      if (const auto* doc = std::any_cast<std::string>(&tag)) dispatch(*doc);
+    });
+  });
+}
+
+ControlPlane::~ControlPlane() { stack_.tcp_unlisten(proxy_host_, port_); }
+
+void ControlPlane::register_handler(const std::string& root_name, HandlerFn handler) {
+  handlers_[root_name] = std::move(handler);
+}
+
+void ControlPlane::dispatch(const std::string& doc) {
+  soap::XmlNode message;
+  try {
+    message = soap::parse_xml(doc);
+  } catch (const std::exception&) {
+    ++parse_failures_;
+    return;
+  }
+  ++delivered_;
+  if (auto it = handlers_.find(message.name); it != handlers_.end()) {
+    it->second(message);
+  }
+}
+
+void ControlPlane::send(net::NodeId host, const soap::XmlNode& message) {
+  const std::string doc = soap::to_xml(message);
+  if (host == proxy_host_) {
+    // The Proxy's own daemon reports locally.
+    dispatch(doc);
+    return;
+  }
+  auto it = clients_.find(host);
+  if (it == clients_.end()) {
+    transport::TcpConnection& conn = stack_.tcp_connect(host, proxy_host_, port_);
+    it = clients_.emplace(host, &conn).first;
+  }
+  bytes_shipped_ += doc.size();
+  it->second->send(doc.size(), std::any(doc));
+}
+
+}  // namespace vw::vnet

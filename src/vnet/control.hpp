@@ -1,0 +1,61 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "soap/xml.hpp"
+#include "transport/stack.hpp"
+#include "transport/tcp.hpp"
+
+// The VNET control plane: each daemon holds a TCP control connection to the
+// Proxy and ships XML report messages upstream ("each VNET daemon
+// periodically sends its inferred local traffic matrix to the VNET daemon
+// on the Proxy"). The Proxy dispatches arriving documents to handlers by
+// root element name. Reports from the Proxy host itself short-circuit
+// (same daemon); everything else crosses the simulated network and pays
+// real latency and bandwidth.
+
+namespace vw::vnet {
+
+class ControlPlane {
+ public:
+  using HandlerFn = std::function<void(const soap::XmlNode& message)>;
+
+  /// Listens for daemon control connections on (proxy_host, port).
+  ControlPlane(transport::TransportStack& stack, net::NodeId proxy_host,
+               std::uint16_t port = 9001);
+  ~ControlPlane();
+
+  ControlPlane(const ControlPlane&) = delete;
+  ControlPlane& operator=(const ControlPlane&) = delete;
+
+  /// Proxy side: handle messages whose root element is `root_name`.
+  void register_handler(const std::string& root_name, HandlerFn handler);
+
+  /// Daemon side: send `message` from `host` to the Proxy. Establishes the
+  /// host's control connection on first use. Messages from the Proxy host
+  /// dispatch immediately without touching the network.
+  void send(net::NodeId host, const soap::XmlNode& message);
+
+  std::uint64_t messages_delivered() const { return delivered_; }
+  std::uint64_t parse_failures() const { return parse_failures_; }
+  /// Wire bytes of serialized reports sent over the network (control-plane
+  /// overhead, §3.4).
+  std::uint64_t bytes_shipped() const { return bytes_shipped_; }
+
+ private:
+  void dispatch(const std::string& doc);
+
+  transport::TransportStack& stack_;
+  net::NodeId proxy_host_;
+  std::uint16_t port_;
+  std::map<std::string, HandlerFn> handlers_;
+  std::map<net::NodeId, transport::TcpConnection*> clients_;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t parse_failures_ = 0;
+  std::uint64_t bytes_shipped_ = 0;
+};
+
+}  // namespace vw::vnet

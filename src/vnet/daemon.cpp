@@ -1,0 +1,92 @@
+#include "vnet/daemon.hpp"
+
+namespace vw::vnet {
+
+VnetDaemon::VnetDaemon(transport::TransportStack& stack, net::NodeId host, std::string name,
+                       bool is_proxy)
+    : stack_(stack), host_(host), name_(std::move(name)), is_proxy_(is_proxy) {}
+
+VnetDaemon::~VnetDaemon() = default;
+
+void VnetDaemon::attach_vm(MacAddress mac, VmDeliveryFn deliver) {
+  local_vms_[mac] = std::move(deliver);
+}
+
+void VnetDaemon::detach_vm(MacAddress mac) { local_vms_.erase(mac); }
+
+void VnetDaemon::inject_from_vm(const EthernetFrame& frame) {
+  // VTTIF examines every Ethernet packet the daemon receives from a local VM.
+  if (frame_observer_) frame_observer_(frame);
+  route(std::make_shared<const EthernetFrame>(frame));
+}
+
+void VnetDaemon::handle_from_link(FramePtr frame) {
+  if (frame->ttl == 0) {
+    ++frames_dropped_;
+    return;
+  }
+  auto decremented = std::make_shared<EthernetFrame>(*frame);
+  --decremented->ttl;
+  route(std::move(decremented));
+}
+
+void VnetDaemon::route(FramePtr frame) {
+  // 1. Local delivery.
+  if (auto it = local_vms_.find(frame->dst_mac); it != local_vms_.end()) {
+    it->second(std::move(frame));
+    return;
+  }
+  // 2. Explicit forwarding rule.
+  if (auto it = rules_.find(frame->dst_mac); it != rules_.end()) {
+    if (auto lit = links_.find(it->second); lit != links_.end()) {
+      ++frames_forwarded_;
+      lit->second->send(std::move(frame));
+      return;
+    }
+  }
+  // 3. The Proxy resolves the hosting daemon from its global VM registry.
+  if (is_proxy_ && mac_resolver_) {
+    if (VnetDaemon* target = mac_resolver_(frame->dst_mac); target != nullptr && target != this) {
+      if (auto link = link_to_host(target->host())) {
+        ++frames_forwarded_;
+        links_.at(*link)->send(std::move(frame));
+        return;
+      }
+    }
+  }
+  // 4. Star fallback: toward the Proxy.
+  if (auto it = links_.find(default_link_); it != links_.end()) {
+    ++frames_forwarded_;
+    it->second->send(std::move(frame));
+    return;
+  }
+  ++frames_dropped_;
+}
+
+LinkId VnetDaemon::register_link(std::unique_ptr<OverlayLink> link) {
+  const LinkId id = next_link_id_++;
+  link->set_on_frame([this](FramePtr f) { handle_from_link(std::move(f)); });
+  links_[id] = std::move(link);
+  return id;
+}
+
+void VnetDaemon::remove_link(LinkId id) {
+  links_.erase(id);
+  if (default_link_ == id) default_link_ = kInvalidLink;
+  for (auto it = rules_.begin(); it != rules_.end();) {
+    it = (it->second == id) ? rules_.erase(it) : std::next(it);
+  }
+}
+
+std::optional<LinkId> VnetDaemon::link_to_host(net::NodeId host) const {
+  for (const auto& [id, link] : links_) {
+    if (link->peer_host() == host) return id;
+  }
+  return std::nullopt;
+}
+
+void VnetDaemon::add_rule(MacAddress dst, LinkId out) { rules_[dst] = out; }
+
+void VnetDaemon::remove_rule(MacAddress dst) { rules_.erase(dst); }
+
+}  // namespace vw::vnet

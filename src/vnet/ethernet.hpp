@@ -1,0 +1,42 @@
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <memory>
+
+// The Ethernet frame model VNET forwards. VNET operates below the VM: it
+// captures raw frames from the VM's virtual interface and moves them between
+// daemons, so everything above (IP inside the guest, applications) is opaque
+// payload. Frames carry an optional message-fragment header used by the VM
+// layer to reassemble application messages.
+
+namespace vw::vnet {
+
+using MacAddress = std::uint64_t;
+inline constexpr MacAddress kBroadcastMac = 0xffffffffffffull;
+
+inline constexpr std::uint32_t kEthernetHeaderBytes = 14;
+inline constexpr std::uint32_t kEthernetMtu = 1500;  ///< max payload per frame
+
+/// Application-message fragment metadata (stands in for bytes inside the
+/// frame payload; the VM layer uses it to reassemble messages).
+struct FragmentInfo {
+  std::uint64_t message_id = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t message_bytes = 0;
+  std::any tag;  ///< application tag delivered with the completed message
+};
+
+struct EthernetFrame {
+  MacAddress src_mac = 0;
+  MacAddress dst_mac = 0;
+  std::uint32_t payload_bytes = 0;
+  std::uint32_t ttl = 16;  ///< overlay hop budget (guards against rule loops)
+  FragmentInfo fragment;
+
+  std::uint32_t wire_bytes() const { return payload_bytes + kEthernetHeaderBytes; }
+};
+
+using FramePtr = std::shared_ptr<const EthernetFrame>;
+
+}  // namespace vw::vnet

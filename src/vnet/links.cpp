@@ -1,0 +1,33 @@
+#include "vnet/links.hpp"
+
+namespace vw::vnet {
+
+TcpOverlayLink::TcpOverlayLink(transport::TcpConnection& conn) : conn_(conn) {
+  conn_.set_on_message([this](std::uint64_t, const std::any& tag) {
+    deliver(std::any_cast<FramePtr>(tag));
+  });
+}
+
+void TcpOverlayLink::send(FramePtr frame) {
+  ++frames_sent_;
+  const std::uint64_t bytes = frame->wire_bytes() + kEncapsulationBytes;
+  conn_.send(bytes, std::any(std::move(frame)));
+}
+
+UdpOverlayLink::UdpOverlayLink(std::shared_ptr<transport::UdpSocket> socket,
+                               net::NodeId peer_host, std::uint16_t peer_port)
+    : socket_(std::move(socket)), peer_host_(peer_host), peer_port_(peer_port) {
+  socket_->set_on_receive([this](const net::Packet& pkt) {
+    if (!pkt.user_data) return;
+    deliver(std::any_cast<FramePtr>(*pkt.user_data));
+  });
+}
+
+void UdpOverlayLink::send(FramePtr frame) {
+  ++frames_sent_;
+  const std::uint32_t bytes = frame->wire_bytes() + kEncapsulationBytes;
+  socket_->send_to(peer_host_, peer_port_, bytes,
+                   std::make_shared<const std::any>(std::move(frame)));
+}
+
+}  // namespace vw::vnet

@@ -1,0 +1,132 @@
+#include "vttif/classify.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace vw::vttif {
+
+namespace {
+
+using Edge = std::pair<vnet::MacAddress, vnet::MacAddress>;
+using EdgeSet = std::set<Edge>;
+
+EdgeSet edge_set(const Topology& topo) {
+  EdgeSet edges;
+  for (const TopologyEdge& e : topo.edges) edges.insert({e.src, e.dst});
+  return edges;
+}
+
+std::vector<vnet::MacAddress> vm_set(const EdgeSet& edges) {
+  std::set<vnet::MacAddress> vms;
+  for (const Edge& e : edges) {
+    vms.insert(e.first);
+    vms.insert(e.second);
+  }
+  return {vms.begin(), vms.end()};
+}
+
+EdgeSet all_to_all(const std::vector<vnet::MacAddress>& vms) {
+  EdgeSet edges;
+  for (vnet::MacAddress a : vms) {
+    for (vnet::MacAddress b : vms) {
+      if (a != b) edges.insert({a, b});
+    }
+  }
+  return edges;
+}
+
+EdgeSet ring_uni(const std::vector<vnet::MacAddress>& vms) {
+  EdgeSet edges;
+  const std::size_t n = vms.size();
+  for (std::size_t i = 0; i < n; ++i) edges.insert({vms[i], vms[(i + 1) % n]});
+  return edges;
+}
+
+EdgeSet ring_bi(const std::vector<vnet::MacAddress>& vms) {
+  EdgeSet edges = ring_uni(vms);
+  const std::size_t n = vms.size();
+  for (std::size_t i = 0; i < n; ++i) edges.insert({vms[(i + 1) % n], vms[i]});
+  return edges;
+}
+
+EdgeSet chain(const std::vector<vnet::MacAddress>& vms) {
+  EdgeSet edges;
+  for (std::size_t i = 0; i + 1 < vms.size(); ++i) {
+    edges.insert({vms[i], vms[i + 1]});
+    edges.insert({vms[i + 1], vms[i]});
+  }
+  return edges;
+}
+
+EdgeSet star(const std::vector<vnet::MacAddress>& vms, std::size_t hub_index) {
+  EdgeSet edges;
+  for (std::size_t i = 0; i < vms.size(); ++i) {
+    if (i == hub_index) continue;
+    edges.insert({vms[hub_index], vms[i]});
+    edges.insert({vms[i], vms[hub_index]});
+  }
+  return edges;
+}
+
+EdgeSet mesh2d(const std::vector<vnet::MacAddress>& vms, std::size_t rows) {
+  const std::size_t n = vms.size();
+  const std::size_t cols = n / rows;
+  EdgeSet edges;
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::size_t i = r * cols + c;
+      auto connect = [&](std::size_t j) {
+        edges.insert({vms[i], vms[j]});
+        edges.insert({vms[j], vms[i]});
+      };
+      if (c + 1 < cols) connect(i + 1);
+      if (r + 1 < rows) connect(i + cols);
+    }
+  }
+  return edges;
+}
+
+}  // namespace
+
+std::string to_string(PatternKind kind) {
+  switch (kind) {
+    case PatternKind::kAllToAll: return "all-to-all";
+    case PatternKind::kRing: return "ring";
+    case PatternKind::kRingUni: return "ring (unidirectional)";
+    case PatternKind::kChain: return "chain";
+    case PatternKind::kStar: return "star";
+    case PatternKind::kMesh2D: return "2D mesh";
+    case PatternKind::kIrregular: return "irregular";
+  }
+  return "?";
+}
+
+Classification classify_topology(const Topology& topology) {
+  const EdgeSet edges = edge_set(topology);
+  if (edges.empty()) return {PatternKind::kIrregular, 0};
+  const std::vector<vnet::MacAddress> vms = vm_set(edges);
+  const std::size_t n = vms.size();
+  if (n < 2) return {PatternKind::kIrregular, 0};
+
+  if (edges == all_to_all(vms)) {
+    // n=2 and n=3 all-to-all coincide with chain/bidirectional ring; the
+    // denser catalog entry wins only for n >= 4 where they differ.
+    if (n == 2) return {PatternKind::kChain, 0};
+    return {PatternKind::kAllToAll, 0};
+  }
+  if (n >= 3 && edges == ring_bi(vms)) return {PatternKind::kRing, 0};
+  if (n >= 3 && edges == ring_uni(vms)) return {PatternKind::kRingUni, 0};
+  if (edges == chain(vms)) return {PatternKind::kChain, 0};
+  for (std::size_t hub = 0; hub < n; ++hub) {
+    if (n >= 4 && edges == star(vms, hub)) return {PatternKind::kStar, hub};
+  }
+  for (std::size_t rows = 2; rows * 2 <= n; ++rows) {
+    if (n % rows != 0) continue;
+    const std::size_t cols = n / rows;
+    if (cols < 2) continue;
+    if (edges == mesh2d(vms, rows)) return {PatternKind::kMesh2D, rows};
+  }
+  return {PatternKind::kIrregular, 0};
+}
+
+}  // namespace vw::vttif

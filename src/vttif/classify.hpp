@@ -1,0 +1,40 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "vttif/matrix.hpp"
+
+// Topology classification: match an inferred application topology against
+// the catalog of parallel-program communication patterns the VTTIF work
+// (paper reference [2]) recognizes — n-neighbor rings, 2D meshes,
+// all-to-all, star (master/worker) and chains. Classification is by exact
+// edge-set match against generated reference patterns over the same VM set,
+// ignoring weights (the topology's *shape* drives adaptation templates).
+
+namespace vw::vttif {
+
+enum class PatternKind {
+  kAllToAll,
+  kRing,        ///< bidirectional ring
+  kRingUni,     ///< unidirectional ring
+  kChain,       ///< bidirectional line
+  kStar,        ///< hub-and-spoke (master/worker), bidirectional
+  kMesh2D,      ///< 2D grid, 4-neighborhood, bidirectional
+  kIrregular,   ///< nothing in the catalog matched
+};
+
+std::string to_string(PatternKind kind);
+
+struct Classification {
+  PatternKind kind = PatternKind::kIrregular;
+  /// For kStar: the hub VM; for kMesh2D: rows (cols = n/rows). 0 otherwise.
+  std::size_t parameter = 0;
+};
+
+/// Classify `topology` over the VM set it mentions. The VM set is inferred
+/// from the edges (every endpoint); patterns are generated over that set in
+/// sorted MAC order.
+Classification classify_topology(const Topology& topology);
+
+}  // namespace vw::vttif

@@ -1,0 +1,51 @@
+#include "vttif/global.hpp"
+
+#include <algorithm>
+
+namespace vw::vttif {
+
+GlobalVttif::GlobalVttif(sim::Simulator& sim, GlobalVttifParams params)
+    : sim_(sim), params_(params), task_(sim, params.aggregation_period, [this] { close_slot(); }) {}
+
+void GlobalVttif::update_from(net::NodeId, const TrafficMatrix& bytes) {
+  ++updates_;
+  current_slot_.merge(bytes);
+}
+
+void GlobalVttif::close_slot() {
+  window_.push_back(std::move(current_slot_));
+  current_slot_ = TrafficMatrix{};
+  while (window_.size() > params_.window_slots) window_.pop_front();
+
+  const Topology topo = current_topology();
+  if (topo.edges.empty()) return;
+
+  const bool interesting =
+      !last_reported_ || !topo.same_shape(*last_reported_) ||
+      topo.max_relative_change(*last_reported_) > params_.change_threshold;
+  if (!interesting) return;
+
+  const SimTime now = sim_.now();
+  if (last_reported_ && now - last_report_time_ < params_.reaction_cooldown) {
+    return;  // damping: swallow rapid-fire changes to avoid oscillation
+  }
+  last_reported_ = topo;
+  last_report_time_ = now;
+  ++changes_;
+  if (on_change_) on_change_(topo);
+}
+
+TrafficMatrix GlobalVttif::smoothed_rate_matrix() const {
+  TrafficMatrix sum;
+  for (const TrafficMatrix& slot : window_) sum.merge(slot);
+  const double window_seconds =
+      to_seconds(params_.aggregation_period) * static_cast<double>(std::max<std::size_t>(window_.size(), 1));
+  if (window_seconds > 0) sum.scale(1.0 / window_seconds);
+  return sum;
+}
+
+Topology GlobalVttif::current_topology() const {
+  return infer_topology(smoothed_rate_matrix(), params_.prune_fraction);
+}
+
+}  // namespace vw::vttif

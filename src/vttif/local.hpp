@@ -1,0 +1,39 @@
+#pragma once
+
+#include <functional>
+
+#include "sim/simulator.hpp"
+#include "vnet/daemon.hpp"
+#include "vttif/matrix.hpp"
+
+// The per-daemon half of VTTIF: observes every Ethernet frame the daemon
+// captures from its local VMs, accumulates a local traffic matrix, and
+// periodically ships it toward the Proxy's global aggregator.
+
+namespace vw::vttif {
+
+class LocalVttif {
+ public:
+  /// Receives (reporting daemon's host, bytes accumulated this interval).
+  using PushFn = std::function<void(net::NodeId, const TrafficMatrix&)>;
+
+  LocalVttif(sim::Simulator& sim, vnet::VnetDaemon& daemon, SimTime update_period, PushFn push);
+
+  LocalVttif(const LocalVttif&) = delete;
+  LocalVttif& operator=(const LocalVttif&) = delete;
+
+  const TrafficMatrix& pending() const { return pending_; }
+  std::uint64_t updates_sent() const { return updates_; }
+  vnet::VnetDaemon& daemon() { return daemon_; }
+
+ private:
+  void push_update();
+
+  vnet::VnetDaemon& daemon_;
+  PushFn push_;
+  TrafficMatrix pending_;
+  std::uint64_t updates_ = 0;
+  sim::PeriodicTask task_;
+};
+
+}  // namespace vw::vttif

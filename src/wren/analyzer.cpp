@@ -1,0 +1,102 @@
+#include "wren/analyzer.hpp"
+
+#include <algorithm>
+
+namespace vw::wren {
+
+OnlineAnalyzer::OnlineAnalyzer(net::Network& network, net::NodeId host, WrenParams params)
+    : network_(network),
+      host_(host),
+      params_(params),
+      trace_(network, host),
+      task_(network.simulator(), params.collect_period, [this] { analyze_now(); }) {}
+
+OnlineAnalyzer::FlowState& OnlineAnalyzer::flow_state(const net::FlowKey& key) {
+  auto it = flows_.find(key);
+  if (it != flows_.end()) return it->second;
+
+  FlowState state;
+  state.estimator = std::make_unique<SicEstimator>(params_.sic);
+  SicEstimator* estimator = state.estimator.get();
+  const net::NodeId peer = key.dst;
+  estimator->set_on_observation([this, peer](const SicObservation& obs) {
+    ++observations_total_;
+    if (on_observation_) on_observation_(peer, obs);
+  });
+  state.extractor = std::make_unique<TrainExtractor>(
+      key, params_.train, [estimator](const Train& train) { estimator->add_train(train); });
+  return flows_.emplace(key, std::move(state)).first->second;
+}
+
+void OnlineAnalyzer::analyze_now() {
+  const SimTime now = network_.simulator().now();
+
+  for (const PacketRecord& rec : trace_.collect()) {
+    if (rec.direction == net::TapDirection::kOutgoing && !rec.is_ack && rec.payload_bytes > 0) {
+      FlowState& fs = flow_state(rec.flow);
+      fs.extractor->add(rec);
+      fs.last_outgoing = rec.timestamp;
+    } else if (rec.direction == net::TapDirection::kIncoming && rec.is_ack &&
+               rec.payload_bytes == 0) {
+      // ACKs for one of our outgoing flows.
+      auto it = flows_.find(rec.flow.reversed());
+      if (it != flows_.end()) it->second.estimator->add_ack(rec.timestamp, rec.ack);
+    }
+  }
+
+  for (auto& [key, fs] : flows_) {
+    // A long-idle flow will never extend its pending run: evaluate it now.
+    if (fs.last_outgoing != 0 && now - fs.last_outgoing > params_.train.max_gap) {
+      fs.extractor->flush();
+    }
+    fs.estimator->process(now);
+
+    // Fold flow-level state into the per-peer view.
+    PeerState& peer = peer_state_[key.dst];
+    if (auto est = fs.estimator->estimate_bps()) {
+      if (!fs.estimator->window().empty()) {
+        const SimTime obs_at = fs.estimator->window().back().time;
+        if (obs_at >= peer.bandwidth_at) {
+          peer.bandwidth_bps = est;
+          peer.bandwidth_at = obs_at;
+        }
+      }
+    }
+    if (auto rtt = fs.estimator->min_rtt_seconds()) {
+      if (!peer.min_rtt_s || *rtt < *peer.min_rtt_s) peer.min_rtt_s = rtt;
+    }
+    if (auto cap = fs.estimator->capacity_estimate_bps()) {
+      if (!peer.capacity_bps || *cap > *peer.capacity_bps) peer.capacity_bps = cap;
+    }
+  }
+}
+
+std::optional<double> OnlineAnalyzer::available_bandwidth_bps(net::NodeId peer) const {
+  auto it = peer_state_.find(peer);
+  if (it == peer_state_.end() || !it->second.bandwidth_bps) return std::nullopt;
+  if (network_.simulator().now() - it->second.bandwidth_at > params_.freshness) {
+    return std::nullopt;
+  }
+  return it->second.bandwidth_bps;
+}
+
+std::optional<double> OnlineAnalyzer::latency_seconds(net::NodeId peer) const {
+  auto it = peer_state_.find(peer);
+  if (it == peer_state_.end() || !it->second.min_rtt_s) return std::nullopt;
+  return *it->second.min_rtt_s / 2.0;
+}
+
+std::optional<double> OnlineAnalyzer::capacity_bps(net::NodeId peer) const {
+  auto it = peer_state_.find(peer);
+  if (it == peer_state_.end()) return std::nullopt;
+  return it->second.capacity_bps;
+}
+
+std::vector<net::NodeId> OnlineAnalyzer::peers() const {
+  std::vector<net::NodeId> out;
+  out.reserve(peer_state_.size());
+  for (const auto& [peer, state] : peer_state_) out.push_back(peer);
+  return out;
+}
+
+}  // namespace vw::wren

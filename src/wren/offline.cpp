@@ -1,0 +1,136 @@
+#include "wren/offline.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace vw::wren {
+
+namespace {
+constexpr char kHeader[] = "# wren-trace v1";
+}
+
+void write_trace(std::ostream& out, const std::vector<PacketRecord>& records) {
+  out << kHeader << '\n';
+  for (const PacketRecord& r : records) {
+    out << r.timestamp << ' ' << (r.direction == net::TapDirection::kOutgoing ? 'O' : 'I') << ' '
+        << r.flow.src << ' ' << r.flow.dst << ' ' << r.flow.src_port << ' ' << r.flow.dst_port
+        << ' ' << r.payload_bytes << ' ' << r.wire_bytes << ' ' << r.seq << ' ' << r.ack << ' '
+        << (r.is_ack ? 1 : 0) << ' ' << (r.syn ? 1 : 0) << '\n';
+  }
+}
+
+std::vector<PacketRecord> read_trace(std::istream& in) {
+  std::string line;
+  std::size_t line_no = 0;
+  auto fail = [&](const std::string& what) -> void {
+    throw std::runtime_error("wren trace parse error at line " + std::to_string(line_no) + ": " +
+                             what);
+  };
+
+  if (!std::getline(in, line)) fail("empty stream");
+  ++line_no;
+  if (line != kHeader) fail("bad header: " + line);
+
+  std::vector<PacketRecord> records;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    PacketRecord r;
+    char dir = 0;
+    int is_ack = 0;
+    int syn = 0;
+    std::uint32_t src = 0, dst = 0;
+    if (!(ls >> r.timestamp >> dir >> src >> dst >> r.flow.src_port >> r.flow.dst_port >>
+          r.payload_bytes >> r.wire_bytes >> r.seq >> r.ack >> is_ack >> syn)) {
+      fail("malformed record");
+    }
+    if (dir != 'O' && dir != 'I') fail("bad direction flag");
+    r.direction = dir == 'O' ? net::TapDirection::kOutgoing : net::TapDirection::kIncoming;
+    r.flow.src = src;
+    r.flow.dst = dst;
+    r.flow.proto = net::Protocol::kTcp;
+    r.is_ack = is_ack != 0;
+    r.syn = syn != 0;
+    records.push_back(r);
+  }
+  return records;
+}
+
+std::vector<PacketRecord> filter_useful(const std::vector<PacketRecord>& records) {
+  std::vector<PacketRecord> out;
+  out.reserve(records.size());
+  for (const PacketRecord& r : records) {
+    const bool outgoing_data =
+        r.direction == net::TapDirection::kOutgoing && !r.is_ack && r.payload_bytes > 0;
+    const bool incoming_ack =
+        r.direction == net::TapDirection::kIncoming && r.is_ack && r.payload_bytes == 0;
+    if (outgoing_data || incoming_ack) out.push_back(r);
+  }
+  return out;
+}
+
+OfflineResult analyze_offline(const std::vector<PacketRecord>& records,
+                              const TrainParams& train_params, const SicParams& sic_params) {
+  struct FlowState {
+    std::unique_ptr<TrainExtractor> extractor;
+    std::unique_ptr<SicEstimator> estimator;
+  };
+  std::map<net::FlowKey, FlowState> flows;
+  OfflineResult result;
+
+  auto flow_state = [&](const net::FlowKey& key) -> FlowState& {
+    auto it = flows.find(key);
+    if (it != flows.end()) return it->second;
+    FlowState state;
+    state.estimator = std::make_unique<SicEstimator>(sic_params);
+    SicEstimator* est = state.estimator.get();
+    est->set_on_observation([&result, key](const SicObservation& obs) {
+      result.observations.push_back({key, obs});
+    });
+    state.extractor = std::make_unique<TrainExtractor>(
+        key, train_params, [est](const Train& t) { est->add_train(t); });
+    return flows.emplace(key, std::move(state)).first->second;
+  };
+
+  SimTime last_time = 0;
+  for (const PacketRecord& r : records) {
+    last_time = std::max(last_time, r.timestamp);
+    if (r.direction == net::TapDirection::kOutgoing && !r.is_ack && r.payload_bytes > 0) {
+      flow_state(r.flow).extractor->add(r);
+      ++result.records_consumed;
+    } else if (r.direction == net::TapDirection::kIncoming && r.is_ack &&
+               r.payload_bytes == 0) {
+      auto it = flows.find(r.flow.reversed());
+      if (it != flows.end()) {
+        it->second.estimator->add_ack(r.timestamp, r.ack);
+        ++result.records_consumed;
+      }
+    }
+    // Periodic processing keeps pending-train matching bounded, as the
+    // online analyzer's timer would.
+    if (result.records_consumed % 256 == 0) {
+      for (auto& [key, fs] : flows) fs.estimator->process(r.timestamp);
+    }
+  }
+
+  // Final pass: flush pending runs and settle estimates.
+  for (auto& [key, fs] : flows) {
+    fs.extractor->flush();
+    fs.estimator->process(last_time + seconds(10.0));
+    if (auto est = fs.estimator->estimate_bps()) {
+      result.estimates_bps.push_back({key, *est});
+    }
+  }
+  result.flows_analyzed = flows.size();
+
+  std::stable_sort(result.observations.begin(), result.observations.end(),
+                   [](const auto& a, const auto& b) { return a.second.time < b.second.time; });
+  return result;
+}
+
+}  // namespace vw::wren

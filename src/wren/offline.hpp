@@ -1,0 +1,46 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "wren/sic.hpp"
+#include "wren/trace.hpp"
+
+// Offline Wren — the mode the original system shipped with before this
+// paper's online extension: "the packet traces can be filtered for useful
+// observations and transmitted to a remote repository for analysis".
+//
+// A TraceArchive serializes filtered packet-header records to a portable
+// text format; OfflineAnalyzer replays an archive (or an in-memory record
+// vector) through the same train-extraction + SIC machinery the online
+// analyzer uses and emits the available-bandwidth observation series.
+
+namespace vw::wren {
+
+/// Serialize records to the archive text format (one record per line).
+void write_trace(std::ostream& out, const std::vector<PacketRecord>& records);
+
+/// Parse an archive produced by write_trace; throws std::runtime_error on
+/// malformed input (with the offending line number).
+std::vector<PacketRecord> read_trace(std::istream& in);
+
+/// Keep only the records Wren's analysis consumes: outgoing data packets
+/// and incoming pure ACKs ("filtered for useful observations").
+std::vector<PacketRecord> filter_useful(const std::vector<PacketRecord>& records);
+
+struct OfflineResult {
+  /// Per-flow observation series, flattened and time-ordered.
+  std::vector<std::pair<net::FlowKey, SicObservation>> observations;
+  /// Final per-flow estimates.
+  std::vector<std::pair<net::FlowKey, double>> estimates_bps;
+  std::size_t flows_analyzed = 0;
+  std::size_t records_consumed = 0;
+};
+
+/// Replay a trace through train extraction + SIC evaluation.
+OfflineResult analyze_offline(const std::vector<PacketRecord>& records,
+                              const TrainParams& train_params = {},
+                              const SicParams& sic_params = {});
+
+}  // namespace vw::wren

@@ -1,0 +1,39 @@
+#include "wren/trace.hpp"
+
+namespace vw::wren {
+
+TraceFacility::TraceFacility(net::Network& network, net::NodeId host, std::size_t capacity)
+    : network_(network), host_(host), capacity_(capacity) {
+  tap_id_ = network_.add_host_tap(host, [this](const net::TapEvent& ev) { on_tap(ev); });
+}
+
+TraceFacility::~TraceFacility() { network_.remove_host_tap(host_, tap_id_); }
+
+void TraceFacility::on_tap(const net::TapEvent& ev) {
+  const net::Packet& pkt = *ev.packet;
+  if (pkt.flow.proto != net::Protocol::kTcp) return;
+  if (buffer_.size() >= capacity_) {
+    ++dropped_;
+    buffer_.pop_front();
+  }
+  buffer_.push_back(PacketRecord{
+      .timestamp = ev.timestamp,
+      .direction = ev.direction,
+      .flow = pkt.flow,
+      .payload_bytes = pkt.payload_bytes,
+      .wire_bytes = pkt.size_bytes(),
+      .seq = pkt.seq,
+      .ack = pkt.ack,
+      .is_ack = pkt.is_ack,
+      .syn = pkt.syn,
+  });
+  ++captured_;
+}
+
+std::vector<PacketRecord> TraceFacility::collect() {
+  std::vector<PacketRecord> out(buffer_.begin(), buffer_.end());
+  buffer_.clear();
+  return out;
+}
+
+}  // namespace vw::wren

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "net/network.hpp"
+#include "net/packet.hpp"
+#include "util/time.hpp"
+
+// Wren's kernel packet trace facility.
+//
+// In the paper this is a kernel extension that timestamps every packet
+// arrival/departure with high precision and exposes the headers to a
+// user-level collector. Here it taps the simulated host NIC: outgoing
+// records carry the NIC serialization-completion timestamp (the precise
+// wire departure time the SIC analysis needs), incoming records the
+// delivery timestamp.
+
+namespace vw::wren {
+
+struct PacketRecord {
+  SimTime timestamp = 0;
+  net::TapDirection direction = net::TapDirection::kOutgoing;
+  net::FlowKey flow;
+  std::uint32_t payload_bytes = 0;
+  std::uint32_t wire_bytes = 0;  ///< payload + headers (what the link carried)
+  std::uint64_t seq = 0;
+  std::uint64_t ack = 0;
+  bool is_ack = false;
+  bool syn = false;
+};
+
+/// Per-host header trace with a bounded ring buffer, drained by the
+/// user-level analyzer via collect() — mirroring Wren's kernel/user split.
+class TraceFacility {
+ public:
+  /// Taps `host` on `network`. Only TCP packets are recorded (Wren analyzes
+  /// TCP flows); UDP is ignored at the tap to keep overhead negligible.
+  TraceFacility(net::Network& network, net::NodeId host, std::size_t capacity = 1 << 16);
+  ~TraceFacility();
+
+  TraceFacility(const TraceFacility&) = delete;
+  TraceFacility& operator=(const TraceFacility&) = delete;
+
+  /// Drain all records accumulated since the previous collect().
+  std::vector<PacketRecord> collect();
+
+  net::NodeId host() const { return host_; }
+  std::uint64_t records_captured() const { return captured_; }
+  std::uint64_t records_dropped() const { return dropped_; }
+  std::size_t buffered() const { return buffer_.size(); }
+
+ private:
+  void on_tap(const net::TapEvent& ev);
+
+  net::Network& network_;
+  net::NodeId host_;
+  std::size_t capacity_;
+  net::TapId tap_id_;
+  std::deque<PacketRecord> buffer_;
+  std::uint64_t captured_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace vw::wren

@@ -1,0 +1,49 @@
+#include "wren/view.hpp"
+
+namespace vw::wren {
+
+void GlobalNetworkView::update_bandwidth(net::NodeId from, net::NodeId to, double bps,
+                                         SimTime at) {
+  PathMeasurement& m = entries_[{from, to}];
+  m.bandwidth_bps = bps;
+  m.has_bandwidth = true;
+  m.updated_at = at;
+}
+
+void GlobalNetworkView::update_latency(net::NodeId from, net::NodeId to, double seconds,
+                                       SimTime at) {
+  PathMeasurement& m = entries_[{from, to}];
+  m.latency_s = seconds;
+  m.has_latency = true;
+  m.updated_at = at;
+}
+
+std::optional<double> GlobalNetworkView::bandwidth_bps(net::NodeId from, net::NodeId to) const {
+  auto it = entries_.find({from, to});
+  if (it == entries_.end() || !it->second.has_bandwidth) return std::nullopt;
+  return it->second.bandwidth_bps;
+}
+
+std::optional<double> GlobalNetworkView::latency_seconds(net::NodeId from, net::NodeId to) const {
+  auto it = entries_.find({from, to});
+  if (it == entries_.end() || !it->second.has_latency) return std::nullopt;
+  return it->second.latency_s;
+}
+
+std::vector<std::pair<net::NodeId, net::NodeId>> GlobalNetworkView::measured_pairs() const {
+  std::vector<std::pair<net::NodeId, net::NodeId>> out;
+  out.reserve(entries_.size());
+  for (const auto& [pair, m] : entries_) out.push_back(pair);
+  return out;
+}
+
+std::vector<std::tuple<net::NodeId, net::NodeId, double>> GlobalNetworkView::bandwidth_adjacency()
+    const {
+  std::vector<std::tuple<net::NodeId, net::NodeId, double>> out;
+  for (const auto& [pair, m] : entries_) {
+    if (m.has_bandwidth) out.push_back({pair.first, pair.second, m.bandwidth_bps});
+  }
+  return out;
+}
+
+}  // namespace vw::wren

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "util/time.hpp"
+
+// The "bird's eye view of the physical network": pairwise available
+// bandwidth and latency among the hosts running VNET daemons. Maintained at
+// the Proxy from the per-host Wren reports that VNET daemons forward, and
+// consumed by VADAPT as the capacity function of its optimization problem.
+
+namespace vw::wren {
+
+struct PathMeasurement {
+  double bandwidth_bps = 0;
+  double latency_s = 0;
+  SimTime updated_at = 0;
+  bool has_bandwidth = false;
+  bool has_latency = false;
+};
+
+class GlobalNetworkView {
+ public:
+  /// Merge a bandwidth report for the directed pair (from, to).
+  void update_bandwidth(net::NodeId from, net::NodeId to, double bps, SimTime at);
+  /// Merge a latency report for the directed pair (from, to).
+  void update_latency(net::NodeId from, net::NodeId to, double seconds, SimTime at);
+
+  std::optional<double> bandwidth_bps(net::NodeId from, net::NodeId to) const;
+  std::optional<double> latency_seconds(net::NodeId from, net::NodeId to) const;
+
+  /// All directed pairs with any measurement (in practice only pairs whose
+  /// VNET daemons exchanged messages have entries, as the paper notes).
+  std::vector<std::pair<net::NodeId, net::NodeId>> measured_pairs() const;
+
+  const std::map<std::pair<net::NodeId, net::NodeId>, PathMeasurement>& entries() const {
+    return entries_;
+  }
+
+  /// Adjacency-list form consumed by VADAPT: (from, to, bandwidth_bps).
+  std::vector<std::tuple<net::NodeId, net::NodeId, double>> bandwidth_adjacency() const;
+
+ private:
+  std::map<std::pair<net::NodeId, net::NodeId>, PathMeasurement> entries_;
+};
+
+}  // namespace vw::wren

@@ -1,0 +1,144 @@
+// Delayed-ACK tests: RFC 1122 behaviour of the receiver, its interaction
+// with loss feedback, and Wren's measurement accuracy with a delayed-ACK
+// receiver (the feedback stream it mines is half as dense).
+
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "transport/sources.hpp"
+#include "transport/stack.hpp"
+#include "transport/tcp.hpp"
+#include "wren/analyzer.hpp"
+
+namespace vw::transport {
+namespace {
+
+struct Env {
+  sim::Simulator sim;
+  net::Network net{sim};
+  net::NodeId a, b;
+  std::unique_ptr<TransportStack> stack;
+
+  explicit Env(bool delayed_ack, double bps = 100e6, SimTime delay = millis(1)) {
+    a = net.add_host("a");
+    b = net.add_host("b");
+    net::LinkConfig cfg;
+    cfg.bits_per_sec = bps;
+    cfg.prop_delay = delay;
+    net.add_link(a, b, cfg);
+    net.compute_routes();
+    stack = std::make_unique<TransportStack>(net);
+    TcpParams params;
+    params.delayed_ack = delayed_ack;
+    stack->set_default_tcp_params(params);
+  }
+
+  /// Count pure ACKs arriving at host a (the sender side).
+  std::uint64_t count_acks_during_transfer(std::uint64_t bytes) {
+    std::uint64_t acks = 0;
+    net.add_host_tap(a, [&](const net::TapEvent& ev) {
+      if (ev.direction == net::TapDirection::kIncoming && ev.packet->is_ack &&
+          ev.packet->payload_bytes == 0) {
+        ++acks;
+      }
+    });
+    TcpConnection* server = nullptr;
+    stack->tcp_listen(b, 80, [&](TcpConnection& c) { server = &c; });
+    stack->tcp_connect(a, b, 80).send(bytes);
+    sim.run_until(seconds(30.0));
+    EXPECT_NE(server, nullptr);
+    if (server) EXPECT_EQ(server->bytes_received(), bytes);
+    return acks;
+  }
+};
+
+TEST(DelayedAckTest, HalvesAckCount) {
+  const std::uint64_t bytes = 500'000;  // ~343 segments
+  Env immediate(false);
+  Env delayed(true);
+  const auto acks_immediate = immediate.count_acks_during_transfer(bytes);
+  const auto acks_delayed = delayed.count_acks_during_transfer(bytes);
+  EXPECT_GT(acks_immediate, 300u);
+  // Delayed ACKs: roughly one per two segments (plus handshake/timeout acks).
+  EXPECT_LT(acks_delayed, acks_immediate * 2 / 3);
+  EXPECT_GT(acks_delayed, acks_immediate / 4);
+}
+
+TEST(DelayedAckTest, TransferStillCompletes) {
+  Env env(true, 10e6, millis(5));
+  TcpConnection* server = nullptr;
+  env.stack->tcp_listen(env.b, 80, [&](TcpConnection& c) { server = &c; });
+  env.stack->tcp_connect(env.a, env.b, 80).send(2'000'000);
+  env.sim.run_until(seconds(30.0));
+  ASSERT_NE(server, nullptr);
+  EXPECT_EQ(server->bytes_received(), 2'000'000u);
+}
+
+TEST(DelayedAckTest, TimerFlushesOddSegment) {
+  // A single small message leaves one unacked segment; the 40 ms timer must
+  // flush the ACK so the sender's data is acknowledged promptly.
+  Env env(true);
+  env.stack->tcp_listen(env.b, 80, [](TcpConnection&) {});
+  auto& client = env.stack->tcp_connect(env.a, env.b, 80);
+  client.send(1000);  // one segment
+  env.sim.run_until(seconds(1.0));
+  EXPECT_EQ(client.bytes_acked(), 1000u);
+}
+
+TEST(DelayedAckTest, OutOfOrderDataAckedImmediately) {
+  // Loss on the data path: the receiver must emit immediate duplicate ACKs
+  // (no delay) so fast retransmit still works; the transfer finishes fast.
+  Env env(true, 20e6, millis(5));
+  RngService rngs(5);
+  env.net.channel(env.a, env.b).set_loss(0.01, rngs.stream("loss"));
+  TcpConnection* server = nullptr;
+  env.stack->tcp_listen(env.b, 80, [&](TcpConnection& c) { server = &c; });
+  auto& client = env.stack->tcp_connect(env.a, env.b, 80);
+  client.send(1'000'000);
+  env.sim.run_until(seconds(60.0));
+  ASSERT_NE(server, nullptr);
+  EXPECT_EQ(server->bytes_received(), 1'000'000u);
+  EXPECT_GT(client.retransmissions(), 0u);
+}
+
+TEST(DelayedAckTest, WrenStillMeasuresWithDelayedAcks) {
+  // The ablation the paper's design invites: Wren's ACK matching works on
+  // cumulative coverage, so halving the feedback density must not break the
+  // estimate — only coarsen it.
+  sim::Simulator sim;
+  net::Network net(sim);
+  const net::NodeId sender = net.add_host("s");
+  const net::NodeId receiver = net.add_host("r");
+  const net::NodeId cross = net.add_host("c");
+  const net::NodeId sw = net.add_router("sw");
+  net::LinkConfig cfg;
+  cfg.bits_per_sec = 100e6;
+  cfg.prop_delay = micros(50);
+  net.add_link(sender, sw, cfg);
+  net.add_link(cross, sw, cfg);
+  net.add_link(sw, receiver, cfg);
+  net.compute_routes();
+  TransportStack stack(net);
+  TcpParams params;
+  params.delayed_ack = true;
+  stack.set_default_tcp_params(params);
+
+  wren::OnlineAnalyzer analyzer(net, sender);
+  CbrUdpSource cbr(stack, cross, receiver, 7000, 40e6, 1000);
+  cbr.start();
+  std::vector<MessagePhase> phases{
+      {.count = 150, .message_bytes = 200'000, .spacing = millis(100), .pause_after = 0}};
+  MessageSource app(stack, sender, receiver, 9000, phases);
+  app.start();
+  sim.run_until(seconds(12.0));
+
+  const auto bw = analyzer.available_bandwidth_bps(receiver);
+  ASSERT_TRUE(bw.has_value());
+  // Truth is 60 Mb/s; accept a wider band than the per-segment-ACK case.
+  EXPECT_GT(*bw, 30e6);
+  EXPECT_LT(*bw, 95e6);
+}
+
+}  // namespace
+}  // namespace vw::transport

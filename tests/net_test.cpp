@@ -1,0 +1,293 @@
+// Unit tests for the physical network substrate: link serialization and
+// propagation timing, drop-tail queueing, routing, taps, endpoint delay
+// emulation and the SNMP-style link probe.
+
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+#include "net/probe.hpp"
+#include "sim/simulator.hpp"
+
+namespace vw::net {
+namespace {
+
+Packet make_packet(NodeId src, NodeId dst, std::uint32_t payload) {
+  Packet p;
+  p.flow = FlowKey{src, dst, 1000, 2000, Protocol::kUdp};
+  p.payload_bytes = payload;
+  p.header_bytes = 40;
+  return p;
+}
+
+struct TwoHosts {
+  sim::Simulator sim;
+  Network net{sim};
+  NodeId a, b;
+
+  explicit TwoHosts(const LinkConfig& cfg = {}) {
+    a = net.add_host("a");
+    b = net.add_host("b");
+    net.add_link(a, b, cfg);
+    net.compute_routes();
+  }
+};
+
+TEST(NetworkTest, DeliveryTimeIsSerializationPlusPropagation) {
+  LinkConfig cfg;
+  cfg.bits_per_sec = 10e6;
+  cfg.prop_delay = millis(2);
+  TwoHosts env(cfg);
+  SimTime delivered_at = -1;
+  env.net.set_host_stack(env.b, [&](Packet&&) { delivered_at = env.sim.now(); });
+  env.net.send(make_packet(env.a, env.b, 1210));  // 1250B on wire = 1ms at 10Mbps
+  env.sim.run();
+  EXPECT_EQ(delivered_at, millis(3));
+}
+
+TEST(NetworkTest, BackToBackPacketsQueue) {
+  LinkConfig cfg;
+  cfg.bits_per_sec = 10e6;
+  cfg.prop_delay = 0;
+  TwoHosts env(cfg);
+  std::vector<SimTime> arrivals;
+  env.net.set_host_stack(env.b, [&](Packet&&) { arrivals.push_back(env.sim.now()); });
+  for (int i = 0; i < 3; ++i) env.net.send(make_packet(env.a, env.b, 1210));
+  env.sim.run();
+  ASSERT_EQ(arrivals.size(), 3u);
+  EXPECT_EQ(arrivals[0], millis(1));
+  EXPECT_EQ(arrivals[1], millis(2));
+  EXPECT_EQ(arrivals[2], millis(3));
+}
+
+TEST(NetworkTest, DropTailWhenQueueFull) {
+  LinkConfig cfg;
+  cfg.bits_per_sec = 1e6;  // slow: queue builds instantly
+  cfg.queue_limit_bytes = 3000;
+  TwoHosts env(cfg);
+  int delivered = 0;
+  env.net.set_host_stack(env.b, [&](Packet&&) { ++delivered; });
+  for (int i = 0; i < 10; ++i) env.net.send(make_packet(env.a, env.b, 1210));
+  env.sim.run();
+  EXPECT_EQ(delivered, 2);  // 2 x 1250 fits in 3000, the rest dropped
+  EXPECT_EQ(env.net.packets_dropped(), 8u);
+}
+
+TEST(NetworkTest, MultiHopRouting) {
+  sim::Simulator sim;
+  Network net(sim);
+  const NodeId a = net.add_host("a");
+  const NodeId r1 = net.add_router("r1");
+  const NodeId r2 = net.add_router("r2");
+  const NodeId b = net.add_host("b");
+  LinkConfig cfg;
+  cfg.prop_delay = millis(1);
+  net.add_link(a, r1, cfg);
+  net.add_link(r1, r2, cfg);
+  net.add_link(r2, b, cfg);
+  net.compute_routes();
+
+  EXPECT_EQ(net.next_hop(a, b), r1);
+  EXPECT_EQ(net.next_hop(r1, b), r2);
+  EXPECT_EQ(net.path_prop_delay(a, b), millis(3));
+
+  bool got = false;
+  net.set_host_stack(b, [&](Packet&& p) {
+    got = true;
+    EXPECT_EQ(p.flow.src, a);
+  });
+  net.send(make_packet(a, b, 100));
+  sim.run();
+  EXPECT_TRUE(got);
+}
+
+TEST(NetworkTest, RoutingPrefersLowerLatency) {
+  sim::Simulator sim;
+  Network net(sim);
+  const NodeId a = net.add_host("a");
+  const NodeId fast = net.add_router("fast");
+  const NodeId slow = net.add_router("slow");
+  const NodeId b = net.add_host("b");
+  LinkConfig fast_cfg;
+  fast_cfg.prop_delay = millis(1);
+  LinkConfig slow_cfg;
+  slow_cfg.prop_delay = millis(10);
+  net.add_link(a, fast, fast_cfg);
+  net.add_link(fast, b, fast_cfg);
+  net.add_link(a, slow, slow_cfg);
+  net.add_link(slow, b, slow_cfg);
+  net.compute_routes();
+  EXPECT_EQ(net.next_hop(a, b), fast);
+}
+
+TEST(NetworkTest, PathBottleneck) {
+  sim::Simulator sim;
+  Network net(sim);
+  const NodeId a = net.add_host("a");
+  const NodeId r = net.add_router("r");
+  const NodeId b = net.add_host("b");
+  LinkConfig wide;
+  wide.bits_per_sec = 100e6;
+  LinkConfig narrow;
+  narrow.bits_per_sec = 10e6;
+  net.add_link(a, r, wide);
+  net.add_link(r, b, narrow);
+  net.compute_routes();
+  EXPECT_DOUBLE_EQ(net.path_bottleneck_bps(a, b), 10e6);
+}
+
+TEST(NetworkTest, OutgoingTapFiresAtSerializationCompletion) {
+  LinkConfig cfg;
+  cfg.bits_per_sec = 10e6;
+  cfg.prop_delay = millis(5);
+  TwoHosts env(cfg);
+  SimTime tap_time = -1;
+  env.net.add_host_tap(env.a, [&](const TapEvent& ev) {
+    if (ev.direction == TapDirection::kOutgoing) tap_time = ev.timestamp;
+  });
+  env.net.send(make_packet(env.a, env.b, 1210));
+  env.sim.run();
+  EXPECT_EQ(tap_time, millis(1));  // before propagation completes
+}
+
+TEST(NetworkTest, IncomingTapFiresAtDelivery) {
+  LinkConfig cfg;
+  cfg.bits_per_sec = 10e6;
+  cfg.prop_delay = millis(5);
+  TwoHosts env(cfg);
+  SimTime tap_time = -1;
+  env.net.add_host_tap(env.b, [&](const TapEvent& ev) {
+    if (ev.direction == TapDirection::kIncoming) tap_time = ev.timestamp;
+  });
+  env.net.send(make_packet(env.a, env.b, 1210));
+  env.sim.run();
+  EXPECT_EQ(tap_time, millis(6));
+}
+
+TEST(NetworkTest, RemovedTapStopsFiring) {
+  TwoHosts env;
+  int count = 0;
+  const TapId id = env.net.add_host_tap(env.a, [&](const TapEvent&) { ++count; });
+  env.net.send(make_packet(env.a, env.b, 100));
+  env.sim.run();
+  const int after_first = count;
+  EXPECT_GT(after_first, 0);
+  env.net.remove_host_tap(env.a, id);
+  env.net.send(make_packet(env.a, env.b, 100));
+  env.sim.run();
+  EXPECT_EQ(count, after_first);
+}
+
+TEST(NetworkTest, EndpointDelayEmulation) {
+  LinkConfig cfg;
+  cfg.bits_per_sec = 10e6;
+  cfg.prop_delay = 0;
+  TwoHosts env(cfg);
+  env.net.add_endpoint_delay(env.a, env.b, millis(25));
+  SimTime delivered_at = -1;
+  env.net.set_host_stack(env.b, [&](Packet&&) { delivered_at = env.sim.now(); });
+  env.net.send(make_packet(env.a, env.b, 1210));
+  env.sim.run();
+  EXPECT_EQ(delivered_at, millis(26));  // 1ms serialization + 25ms NistNet
+}
+
+TEST(NetworkTest, LoopbackDelivery) {
+  TwoHosts env;
+  bool got = false;
+  env.net.set_host_stack(env.a, [&](Packet&& p) {
+    got = true;
+    EXPECT_EQ(p.flow.dst, env.a);
+  });
+  env.net.send(make_packet(env.a, env.a, 500));
+  env.sim.run();
+  EXPECT_TRUE(got);
+}
+
+TEST(NetworkTest, PacketIdsAreUnique) {
+  TwoHosts env;
+  std::vector<std::uint64_t> ids;
+  env.net.set_host_stack(env.b, [&](Packet&& p) { ids.push_back(p.id); });
+  for (int i = 0; i < 5; ++i) env.net.send(make_packet(env.a, env.b, 100));
+  env.sim.run();
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end());
+}
+
+TEST(NetworkTest, DuplicateLinkThrows) {
+  sim::Simulator sim;
+  Network net(sim);
+  const NodeId a = net.add_host("a");
+  const NodeId b = net.add_host("b");
+  net.add_link(a, b, {});
+  EXPECT_THROW(net.add_link(a, b, {}), std::invalid_argument);
+  EXPECT_THROW(net.add_link(b, a, {}), std::invalid_argument);
+}
+
+TEST(NetworkTest, SelfLinkThrows) {
+  sim::Simulator sim;
+  Network net(sim);
+  const NodeId a = net.add_host("a");
+  EXPECT_THROW(net.add_link(a, a, {}), std::invalid_argument);
+}
+
+TEST(NetworkTest, UnreachableDestinationDropsSilently) {
+  sim::Simulator sim;
+  Network net(sim);
+  const NodeId a = net.add_host("a");
+  const NodeId b = net.add_host("b");  // no link
+  net.compute_routes();
+  bool got = false;
+  net.set_host_stack(b, [&](Packet&&) { got = true; });
+  Packet p;
+  p.flow = FlowKey{a, b, 1, 2, Protocol::kUdp};
+  p.payload_bytes = 10;
+  net.send(std::move(p));
+  sim.run();
+  EXPECT_FALSE(got);
+  EXPECT_EQ(net.path_prop_delay(a, b), -1);
+  EXPECT_DOUBLE_EQ(net.path_bottleneck_bps(a, b), 0.0);
+}
+
+TEST(ChannelTest, CapacityChangeAffectsNewPackets) {
+  LinkConfig cfg;
+  cfg.bits_per_sec = 10e6;
+  cfg.prop_delay = 0;
+  TwoHosts env(cfg);
+  std::vector<SimTime> arrivals;
+  env.net.set_host_stack(env.b, [&](Packet&&) { arrivals.push_back(env.sim.now()); });
+  env.net.send(make_packet(env.a, env.b, 1210));
+  env.sim.run();
+  env.net.channel(env.a, env.b).set_capacity_bps(20e6);
+  env.net.send(make_packet(env.a, env.b, 1210));
+  env.sim.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[0], millis(1));
+  EXPECT_EQ(arrivals[1] - arrivals[0], micros(500));
+}
+
+TEST(LinkProbeTest, MeasuresUtilizationAndAvailability) {
+  LinkConfig cfg;
+  cfg.bits_per_sec = 10e6;
+  cfg.prop_delay = 0;
+  TwoHosts env(cfg);
+  LinkProbe probe(env.sim, env.net.channel(env.a, env.b), millis(100));
+
+  // Send 50 packets of 1250B over the first 100ms: 0.5 Mbit in 0.1s = 5 Mbps.
+  for (int i = 0; i < 50; ++i) {
+    env.sim.schedule_at(i * millis(2), [&] { env.net.send(make_packet(env.a, env.b, 1210)); });
+  }
+  env.sim.run_until(millis(250));
+  ASSERT_GE(probe.samples().size(), 2u);
+  EXPECT_NEAR(probe.samples()[0].utilized_bps, 5e6, 0.6e6);
+  EXPECT_NEAR(probe.samples()[0].available_bps, 5e6, 0.6e6);
+  // Second interval: idle.
+  EXPECT_NEAR(probe.samples()[1].available_bps, 10e6, 0.1e6);
+}
+
+TEST(LinkProbeTest, CurrentAvailableBeforeSamplesIsCapacity) {
+  TwoHosts env;
+  LinkProbe probe(env.sim, env.net.channel(env.a, env.b), seconds(1.0));
+  EXPECT_DOUBLE_EQ(probe.current_available_bps(), env.net.channel(env.a, env.b).capacity_bps());
+}
+
+}  // namespace
+}  // namespace vw::net

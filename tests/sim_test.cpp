@@ -1,0 +1,206 @@
+// Unit tests for the discrete-event simulator: ordering, cancellation,
+// run_until semantics and periodic tasks.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace vw::sim {
+namespace {
+
+TEST(SimulatorTest, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(millis(30), [&] { order.push_back(3); });
+  sim.schedule_at(millis(10), [&] { order.push_back(1); });
+  sim.schedule_at(millis(20), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), millis(30));
+}
+
+TEST(SimulatorTest, SameTimeEventsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(millis(5), [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SimulatorTest, ScheduleInIsRelative) {
+  Simulator sim;
+  SimTime fired_at = -1;
+  sim.schedule_at(millis(10), [&] {
+    sim.schedule_in(millis(5), [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired_at, millis(15));
+}
+
+TEST(SimulatorTest, PastSchedulingThrows) {
+  Simulator sim;
+  sim.schedule_at(millis(10), [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(millis(5), [] {}), std::invalid_argument);
+}
+
+TEST(SimulatorTest, EmptyCallbackThrows) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule_at(0, Simulator::Callback{}), std::invalid_argument);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  EventHandle h = sim.schedule_at(millis(1), [&] { ran = true; });
+  EXPECT_TRUE(sim.cancel(h));
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(SimulatorTest, DoubleCancelReturnsFalse) {
+  Simulator sim;
+  EventHandle h = sim.schedule_at(millis(1), [] {});
+  EXPECT_TRUE(sim.cancel(h));
+  EXPECT_FALSE(sim.cancel(h));
+}
+
+TEST(SimulatorTest, CancelAfterExecutionReturnsFalse) {
+  Simulator sim;
+  EventHandle h = sim.schedule_at(millis(1), [] {});
+  sim.run();
+  EXPECT_FALSE(sim.cancel(h));
+}
+
+TEST(SimulatorTest, CancelDefaultHandleIsNoop) {
+  Simulator sim;
+  EXPECT_FALSE(sim.cancel(EventHandle{}));
+}
+
+TEST(SimulatorTest, HasPendingTracksLiveEvents) {
+  Simulator sim;
+  EXPECT_FALSE(sim.has_pending());
+  EventHandle h = sim.schedule_at(millis(1), [] {});
+  EXPECT_TRUE(sim.has_pending());
+  sim.cancel(h);
+  EXPECT_FALSE(sim.has_pending());
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(millis(10), [&] { ++count; });
+  sim.schedule_at(millis(20), [&] { ++count; });
+  sim.schedule_at(millis(30), [&] { ++count; });
+  sim.run_until(millis(20));
+  EXPECT_EQ(count, 2);  // events at exactly `until` fire
+  EXPECT_EQ(sim.now(), millis(20));
+  sim.run_until(millis(100));
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(sim.now(), millis(100));  // time advances to the boundary
+}
+
+TEST(SimulatorTest, RunUntilComposable) {
+  Simulator sim;
+  std::vector<SimTime> times;
+  for (int i = 1; i <= 5; ++i) {
+    sim.schedule_at(millis(i * 10), [&times, &sim] { times.push_back(sim.now()); });
+  }
+  for (int i = 1; i <= 5; ++i) sim.run_until(millis(i * 10));
+  EXPECT_EQ(times.size(), 5u);
+}
+
+TEST(SimulatorTest, EventsScheduledDuringRunExecute) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) sim.schedule_in(millis(1), recurse);
+  };
+  sim.schedule_in(millis(1), recurse);
+  sim.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.now(), millis(5));
+}
+
+TEST(SimulatorTest, EventsExecutedCounter) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule_at(millis(i), [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_executed(), 7u);
+}
+
+TEST(PeriodicTaskTest, FiresAtPeriod) {
+  Simulator sim;
+  std::vector<SimTime> fired;
+  PeriodicTask task(sim, millis(10), [&] { fired.push_back(sim.now()); });
+  sim.run_until(millis(35));
+  ASSERT_EQ(fired.size(), 3u);
+  EXPECT_EQ(fired[0], millis(10));
+  EXPECT_EQ(fired[1], millis(20));
+  EXPECT_EQ(fired[2], millis(30));
+}
+
+TEST(PeriodicTaskTest, StopPreventsFurtherFiring) {
+  Simulator sim;
+  int count = 0;
+  PeriodicTask task(sim, millis(10), [&] { ++count; });
+  sim.run_until(millis(25));
+  task.stop();
+  sim.run_until(millis(100));
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(task.running());
+}
+
+TEST(PeriodicTaskTest, StopFromWithinCallback) {
+  Simulator sim;
+  int count = 0;
+  PeriodicTask task(sim, millis(10), [&] {
+    if (++count == 2) task.stop();
+  });
+  sim.run_until(seconds(1.0));
+  EXPECT_EQ(count, 2);
+}
+
+TEST(PeriodicTaskTest, DestructorStops) {
+  Simulator sim;
+  int count = 0;
+  {
+    PeriodicTask task(sim, millis(10), [&] { ++count; });
+    sim.run_until(millis(15));
+  }
+  sim.run_until(millis(200));
+  EXPECT_EQ(count, 1);
+}
+
+TEST(PeriodicTaskTest, NonPositivePeriodThrows) {
+  Simulator sim;
+  EXPECT_THROW(PeriodicTask(sim, 0, [] {}), std::invalid_argument);
+}
+
+TEST(SimulatorTest, LargeWorkloadDeterministic) {
+  // A stress run mixing schedules and cancels must execute the exact same
+  // event sequence twice (the determinism every experiment relies on).
+  auto run = [] {
+    Simulator sim;
+    std::vector<int> trace;
+    std::vector<EventHandle> handles;
+    for (int i = 0; i < 20'000; ++i) {
+      handles.push_back(sim.schedule_at(millis((i * 7919) % 10'000),
+                                        [&trace, i] { trace.push_back(i); }));
+    }
+    for (int i = 0; i < 20'000; i += 3) sim.cancel(handles[static_cast<std::size_t>(i)]);
+    sim.run();
+    return trace;
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.size(), 20'000u - 6'667u);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace vw::sim

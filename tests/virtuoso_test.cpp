@@ -1,0 +1,337 @@
+// Integration tests for the full Virtuoso runtime: daemons + star overlay,
+// VM traffic observed by VTTIF, Wren measuring the physical paths through
+// the VNET encapsulation, the Proxy's global views, and end-to-end
+// adaptation (measure -> infer -> optimize -> migrate/re-route).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "topo/testbed.hpp"
+#include "vm/apps.hpp"
+#include "virtuoso/system.hpp"
+
+namespace vw::virtuoso {
+namespace {
+
+struct ChallengeEnv {
+  sim::Simulator sim;
+  topo::ChallengeNetwork tb;
+  std::unique_ptr<VirtuosoSystem> system;
+
+  explicit ChallengeEnv(SystemConfig config = {}) : tb(topo::make_challenge_network(sim)) {
+    system = std::make_unique<VirtuosoSystem>(sim, *tb.network, config);
+    bool first = true;
+    for (net::NodeId h : tb.hosts()) {
+      system->add_daemon(h, tb.network->node(h).name, /*is_proxy=*/first);
+      first = false;
+    }
+    system->bootstrap(vnet::LinkProtocol::kUdp);
+  }
+};
+
+TEST(VirtuosoTest, VmTrafficFlowsThroughOverlay) {
+  ChallengeEnv env;
+  vm::VirtualMachine& a = env.system->create_vm("vm-a", env.tb.domain1_hosts[0]);
+  vm::VirtualMachine& b = env.system->create_vm("vm-b", env.tb.domain1_hosts[1]);
+  std::uint64_t got = 0;
+  b.set_on_message([&](vnet::MacAddress, std::uint64_t bytes, const std::any&) { got += bytes; });
+  a.send_message(b.mac(), 50'000);
+  env.sim.run_until(seconds(2.0));
+  EXPECT_EQ(got, 50'000u);
+}
+
+TEST(VirtuosoTest, VttifInfersApplicationTopology) {
+  ChallengeEnv env;
+  vm::VirtualMachine& a = env.system->create_vm("vm-a", env.tb.domain1_hosts[0]);
+  vm::VirtualMachine& b = env.system->create_vm("vm-b", env.tb.domain1_hosts[1]);
+  vm::apps::DemandMatrix demands;
+  demands[{0, 1}] = 5e6;
+  vm::apps::MatrixTrafficApp app(env.sim, {&a, &b}, demands, millis(100));
+  app.start();
+  env.sim.run_until(seconds(8.0));
+  app.stop();
+  const auto inferred = env.system->current_demands();
+  ASSERT_EQ(inferred.size(), 1u);
+  EXPECT_EQ(inferred[0].src, 0u);
+  EXPECT_EQ(inferred[0].dst, 1u);
+  // Rate within a factor of ~2 (includes headers, window smoothing ramp).
+  EXPECT_GT(inferred[0].rate_bps, 2.5e6);
+  EXPECT_LT(inferred[0].rate_bps, 10e6);
+}
+
+TEST(VirtuosoTest, WrenViewPopulatesForCommunicatingDaemons) {
+  ChallengeEnv env;
+  vm::VirtualMachine& a = env.system->create_vm("vm-a", env.tb.domain2_hosts[0]);
+  vm::VirtualMachine& b = env.system->create_vm("vm-b", env.tb.domain2_hosts[1]);
+  vm::apps::DemandMatrix demands;
+  demands[{0, 1}] = 20e6;
+  vm::apps::MatrixTrafficApp app(env.sim, {&a, &b}, demands, millis(100));
+  app.start();
+  env.sim.run_until(seconds(10.0));
+  app.stop();
+  // The daemons talk via the proxy star (UDP links carry the frames, but
+  // the VNET star uses UDP here, so Wren sees... the MessageSource TCP is
+  // absent). With UDP overlay links there is no TCP for Wren to mine, so
+  // the view may be empty; this documents the protocol dependence.
+  SUCCEED();
+}
+
+TEST(VirtuosoTest, WrenMeasuresTcpOverlayTraffic) {
+  // With TCP overlay links, the VNET encapsulation itself is the TCP flow
+  // Wren mines: "Wren monitors the traffic between VNET daemons".
+  ChallengeEnv env;
+  // Rebuild with a TCP star: create a fresh system on a fresh network.
+  sim::Simulator sim2;
+  topo::ChallengeNetwork tb2 = topo::make_challenge_network(sim2);
+  VirtuosoSystem sys(sim2, *tb2.network, SystemConfig{});
+  bool first = true;
+  for (net::NodeId h : tb2.hosts()) {
+    sys.add_daemon(h, tb2.network->node(h).name, first);
+    first = false;
+  }
+  sys.bootstrap(vnet::LinkProtocol::kTcp);
+  vm::VirtualMachine& a = sys.create_vm("vm-a", tb2.domain2_hosts[1]);
+  vm::VirtualMachine& b = sys.create_vm("vm-b", tb2.domain2_hosts[2]);
+  vm::apps::DemandMatrix demands;
+  demands[{0, 1}] = 30e6;
+  vm::apps::MatrixTrafficApp app(sim2, {&a, &b}, demands, millis(100));
+  app.start();
+  sim2.run_until(seconds(15.0));
+  app.stop();
+  // The proxy lives in domain 1; daemon-to-proxy-to-daemon TCP flows cross
+  // the 10 Mbps inter-domain link. Wren on the sending host must have a
+  // bandwidth estimate toward the proxy's host.
+  const net::NodeId proxy_host = tb2.domain1_hosts[0];
+  const auto bw = sys.wren_on(tb2.domain2_hosts[1]).available_bandwidth_bps(proxy_host);
+  ASSERT_TRUE(bw.has_value());
+  EXPECT_LT(*bw, 20e6);  // bounded by the thin inter-domain link
+  EXPECT_GT(*bw, 1e6);
+  // And the Proxy's global view received it through the SOAP reports.
+  EXPECT_TRUE(sys.network_view().bandwidth_bps(tb2.domain2_hosts[1], proxy_host).has_value());
+}
+
+TEST(VirtuosoTest, CapacityGraphUsesViewWithFallback) {
+  SystemConfig config;
+  config.default_bandwidth_bps = 42e6;
+  ChallengeEnv env(config);
+  const vadapt::CapacityGraph g = env.system->capacity_graph();
+  EXPECT_EQ(g.size(), 6u);
+  EXPECT_DOUBLE_EQ(g.bandwidth(0, 1), 42e6);  // nothing measured yet: fallback
+}
+
+TEST(VirtuosoTest, AdaptationMigratesHeavyVmsToFastCluster) {
+  // The end-to-end challenge-scenario loop, with the capacity graph taken
+  // from ground truth (Wren feeds it in the TCP-star variant; here we
+  // exercise VADAPT + migration + overlay reconfiguration).
+  SystemConfig config;
+  config.annealing.iterations = 2000;
+  ChallengeEnv env(config);
+
+  // Place all four VMs suboptimally: heavy trio split across the domains.
+  // Small memory images so migration over the 10 Mbps inter-domain link
+  // completes within the test horizon.
+  const std::uint64_t mem = 4ull << 20;
+  vm::VirtualMachine& v0 = env.system->create_vm("vm-0", env.tb.domain1_hosts[0], mem);
+  vm::VirtualMachine& v1 = env.system->create_vm("vm-1", env.tb.domain1_hosts[1], mem);
+  vm::VirtualMachine& v2 = env.system->create_vm("vm-2", env.tb.domain2_hosts[0], mem);
+  vm::VirtualMachine& v3 = env.system->create_vm("vm-3", env.tb.domain2_hosts[1], mem);
+
+  // Heavy all-to-all among VMs 0-2, light chatter to VM 3.
+  vm::apps::DemandMatrix demands;
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      if (i != j) demands[{i, j}] = 8e6;
+    }
+  }
+  demands[{0, 3}] = 0.5e6;
+  demands[{3, 0}] = 0.5e6;
+  vm::apps::MatrixTrafficApp app(env.sim, {&v0, &v1, &v2, &v3}, demands, millis(100));
+  app.start();
+  env.sim.run_until(seconds(8.0));
+
+  // Inject the physical truth as the measured view (stands in for Wren on
+  // the UDP overlay; the TCP-star test above validates the Wren path).
+  const topo::ChallengeScenario truth = topo::make_challenge_scenario();
+  auto& view = env.system->network_view();
+  const auto hosts = env.tb.hosts();
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    for (std::size_t j = 0; j < hosts.size(); ++j) {
+      if (i == j) continue;
+      view.update_bandwidth(hosts[i], hosts[j], truth.graph.bandwidth(i, j), env.sim.now());
+      view.update_latency(hosts[i], hosts[j], truth.graph.latency(i, j), env.sim.now());
+    }
+  }
+
+  const AdaptationOutcome outcome = env.system->adapt_now(AdaptationAlgorithm::kAnnealingGreedy);
+  EXPECT_GT(outcome.migrations, 0u);
+  app.stop();
+  env.sim.run_until(seconds(60.0));  // let migrations complete
+
+  // Heavy VMs all on the fast (domain 2) cluster.
+  int heavy_on_fast = 0;
+  for (vm::VirtualMachine* machine : {&v0, &v1, &v2}) {
+    ASSERT_TRUE(machine->attached());
+    const auto& d2 = env.tb.domain2_hosts;
+    if (std::find(d2.begin(), d2.end(), machine->host()) != d2.end()) ++heavy_on_fast;
+  }
+  EXPECT_EQ(heavy_on_fast, 3);
+
+  // Traffic still flows after migrations + re-routing.
+  std::uint64_t got = 0;
+  v1.set_on_message([&](vnet::MacAddress, std::uint64_t bytes, const std::any&) { got += bytes; });
+  v0.send_message(v1.mac(), 10'000);
+  env.sim.run_until(seconds(62.0));
+  EXPECT_EQ(got, 10'000u);
+}
+
+TEST(VirtuosoTest, AutoAdaptationTriggersOnTrafficChange) {
+  SystemConfig config;
+  config.annealing.iterations = 300;
+  // Fast VTTIF so the test converges quickly.
+  config.vttif.reaction_cooldown = seconds(2.0);
+  ChallengeEnv env(config);
+
+  const std::uint64_t mem = 4ull << 20;
+  vm::VirtualMachine& v0 = env.system->create_vm("vm-0", env.tb.domain1_hosts[0], mem);
+  vm::VirtualMachine& v1 = env.system->create_vm("vm-1", env.tb.domain1_hosts[1], mem);
+
+  // Ground-truth capacity view (Wren's role on the UDP overlay).
+  const topo::ChallengeScenario truth = topo::make_challenge_scenario();
+  const auto hosts = env.tb.hosts();
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    for (std::size_t j = 0; j < hosts.size(); ++j) {
+      if (i != j) {
+        env.system->network_view().update_bandwidth(hosts[i], hosts[j],
+                                                    truth.graph.bandwidth(i, j), 0);
+      }
+    }
+  }
+
+  env.system->enable_auto_adaptation(AdaptationAlgorithm::kGreedy, seconds(10.0));
+  EXPECT_EQ(env.system->auto_adaptations(), 0u);
+
+  // Heavy VM pair traffic appears: VTTIF detects the change and the system
+  // adapts without an explicit call, moving the pair to the fast cluster.
+  vm::apps::DemandMatrix demands;
+  demands[{0, 1}] = 20e6;
+  demands[{1, 0}] = 20e6;
+  vm::apps::MatrixTrafficApp app(env.sim, {&v0, &v1}, demands, millis(100));
+  app.start();
+  env.sim.run_until(seconds(60.0));
+  app.stop();
+  env.sim.run_until(seconds(90.0));  // migrations complete
+
+  EXPECT_GE(env.system->auto_adaptations(), 1u);
+  ASSERT_TRUE(v0.attached());
+  ASSERT_TRUE(v1.attached());
+  const auto& d2 = env.tb.domain2_hosts;
+  EXPECT_NE(std::find(d2.begin(), d2.end(), v0.host()), d2.end());
+  EXPECT_NE(std::find(d2.begin(), d2.end(), v1.host()), d2.end());
+}
+
+TEST(VirtuosoTest, LoggerRecordsAdaptationEvents) {
+  std::ostringstream log_sink;
+  Logger logger(&log_sink, LogLevel::kInfo);
+  SystemConfig config;
+  config.annealing.iterations = 100;
+  config.logger = &logger;
+  ChallengeEnv env(config);
+  env.system->create_vm("vm-0", env.tb.domain1_hosts[0], 4ull << 20);
+  env.system->create_vm("vm-1", env.tb.domain1_hosts[1], 4ull << 20);
+  const topo::ChallengeScenario truth = topo::make_challenge_scenario();
+  const auto hosts = env.tb.hosts();
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    for (std::size_t j = 0; j < hosts.size(); ++j) {
+      if (i != j) {
+        env.system->network_view().update_bandwidth(hosts[i], hosts[j],
+                                                    truth.graph.bandwidth(i, j), 0);
+      }
+    }
+  }
+  env.system->adapt_now(AdaptationAlgorithm::kGreedy);
+  const std::string out = log_sink.str();
+  EXPECT_NE(out.find("adaptation complete"), std::string::npos);
+}
+
+TEST(VirtuosoTest, DisableAutoAdaptationStopsTriggers) {
+  SystemConfig config;
+  config.vttif.reaction_cooldown = seconds(1.0);
+  ChallengeEnv env(config);
+  vm::VirtualMachine& v0 = env.system->create_vm("vm-0", env.tb.domain1_hosts[0], 4ull << 20);
+  vm::VirtualMachine& v1 = env.system->create_vm("vm-1", env.tb.domain1_hosts[1], 4ull << 20);
+  env.system->enable_auto_adaptation(AdaptationAlgorithm::kGreedy, seconds(1.0));
+  env.system->disable_auto_adaptation();
+  vm::apps::DemandMatrix demands;
+  demands[{0, 1}] = 10e6;
+  vm::apps::MatrixTrafficApp app(env.sim, {&v0, &v1}, demands, millis(100));
+  app.start();
+  env.sim.run_until(seconds(15.0));
+  EXPECT_EQ(env.system->auto_adaptations(), 0u);
+}
+
+TEST(VirtuosoTest, InstallReservationsBacksOverlayLinks) {
+  SystemConfig config;
+  config.annealing.iterations = 200;
+  ChallengeEnv env(config);
+  env.system->create_vm("vm-0", env.tb.domain1_hosts[0], 4ull << 20);
+  env.system->create_vm("vm-1", env.tb.domain1_hosts[1], 4ull << 20);
+
+  // Feed ground truth so adaptation has a capacity view.
+  const topo::ChallengeScenario truth = topo::make_challenge_scenario();
+  const auto hosts = env.tb.hosts();
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    for (std::size_t j = 0; j < hosts.size(); ++j) {
+      if (i != j) {
+        env.system->network_view().update_bandwidth(hosts[i], hosts[j],
+                                                    truth.graph.bandwidth(i, j), 0);
+      }
+    }
+  }
+  // Manufacture a demand-bearing outcome: VTTIF has no traffic yet, so
+  // drive apply + reserve with an explicit configuration.
+  AdaptationOutcome outcome;
+  outcome.hosts = env.system->overlay().daemon_hosts();
+  outcome.demands = {vadapt::Demand{0, 1, 5e6}};
+  outcome.configuration.mapping = {0, 1};
+  outcome.configuration.paths = {{0, 1}};
+  const vadapt::CapacityGraph graph = env.system->capacity_graph();
+  env.system->apply_configuration(graph, outcome.demands, outcome.configuration);
+  env.sim.run_until(seconds(10.0));  // links establish, VMs settle
+
+  const std::size_t granted = env.system->install_reservations(outcome, 0.2);
+  EXPECT_EQ(granted, 1u);
+  EXPECT_EQ(env.system->active_reservations(), 1u);
+
+  // Re-installation releases the old set first (no leak/duplication).
+  EXPECT_EQ(env.system->install_reservations(outcome, 0.2), 1u);
+  EXPECT_EQ(env.system->active_reservations(), 1u);
+
+  env.system->release_reservations();
+  EXPECT_EQ(env.system->active_reservations(), 0u);
+}
+
+TEST(VirtuosoTest, AdaptTwiceIsStable) {
+  SystemConfig config;
+  config.annealing.iterations = 500;
+  ChallengeEnv env(config);
+  env.system->create_vm("vm-0", env.tb.domain1_hosts[0], 4ull << 20);
+  env.system->create_vm("vm-1", env.tb.domain1_hosts[1], 4ull << 20);
+  const topo::ChallengeScenario truth = topo::make_challenge_scenario();
+  auto& view = env.system->network_view();
+  const auto hosts = env.tb.hosts();
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    for (std::size_t j = 0; j < hosts.size(); ++j) {
+      if (i != j) view.update_bandwidth(hosts[i], hosts[j], truth.graph.bandwidth(i, j), 0);
+    }
+  }
+  const AdaptationOutcome first = env.system->adapt_now(AdaptationAlgorithm::kGreedy);
+  env.sim.run_until(seconds(30.0));
+  const AdaptationOutcome second = env.system->adapt_now(AdaptationAlgorithm::kGreedy);
+  // With unchanged inputs, the second pass keeps the VMs where they are.
+  EXPECT_EQ(second.migrations, 0u);
+  (void)first;
+}
+
+}  // namespace
+}  // namespace vw::virtuoso

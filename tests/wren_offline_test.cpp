@@ -1,0 +1,211 @@
+// Tests for offline Wren (trace archive + replay analysis) and the active
+// SIC prober baseline.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "transport/sources.hpp"
+#include "transport/stack.hpp"
+#include "wren/active.hpp"
+#include "wren/analyzer.hpp"
+#include "wren/offline.hpp"
+#include "wren/trace.hpp"
+
+namespace vw::wren {
+namespace {
+
+struct LanEnv {
+  sim::Simulator sim;
+  net::Network net{sim};
+  net::NodeId sender, receiver, cross, sw;
+  std::unique_ptr<transport::TransportStack> stack;
+
+  LanEnv() {
+    sender = net.add_host("s");
+    receiver = net.add_host("r");
+    cross = net.add_host("c");
+    sw = net.add_router("sw");
+    net::LinkConfig cfg;
+    cfg.bits_per_sec = 100e6;
+    cfg.prop_delay = micros(50);
+    net.add_link(sender, sw, cfg);
+    net.add_link(cross, sw, cfg);
+    net.add_link(sw, receiver, cfg);
+    net.compute_routes();
+    stack = std::make_unique<transport::TransportStack>(net);
+  }
+};
+
+PacketRecord sample_record() {
+  PacketRecord r;
+  r.timestamp = millis(123);
+  r.direction = net::TapDirection::kOutgoing;
+  r.flow = net::FlowKey{3, 7, 1000, 2000, net::Protocol::kTcp};
+  r.payload_bytes = 1460;
+  r.wire_bytes = 1500;
+  r.seq = 14600;
+  r.ack = 0;
+  return r;
+}
+
+// --- archive format -----------------------------------------------------------
+
+TEST(TraceArchiveTest, RoundTrip) {
+  std::vector<PacketRecord> records;
+  records.push_back(sample_record());
+  PacketRecord ack = sample_record();
+  ack.direction = net::TapDirection::kIncoming;
+  ack.is_ack = true;
+  ack.payload_bytes = 0;
+  ack.ack = 16060;
+  ack.flow = ack.flow.reversed();
+  records.push_back(ack);
+
+  std::stringstream ss;
+  write_trace(ss, records);
+  const auto parsed = read_trace(ss);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].timestamp, records[0].timestamp);
+  EXPECT_EQ(parsed[0].flow, records[0].flow);
+  EXPECT_EQ(parsed[0].seq, records[0].seq);
+  EXPECT_EQ(parsed[1].is_ack, true);
+  EXPECT_EQ(parsed[1].ack, 16060u);
+  EXPECT_EQ(parsed[1].direction, net::TapDirection::kIncoming);
+}
+
+TEST(TraceArchiveTest, RejectsBadHeader) {
+  std::stringstream ss("not a wren trace\n");
+  EXPECT_THROW(read_trace(ss), std::runtime_error);
+}
+
+TEST(TraceArchiveTest, RejectsMalformedRecord) {
+  std::stringstream ss("# wren-trace v1\n123 O 1 2 garbage\n");
+  EXPECT_THROW(read_trace(ss), std::runtime_error);
+}
+
+TEST(TraceArchiveTest, SkipsCommentsAndBlankLines) {
+  std::stringstream out;
+  write_trace(out, {sample_record()});
+  std::stringstream in("# wren-trace v1\n\n# comment\n" + out.str().substr(out.str().find('\n') + 1));
+  EXPECT_EQ(read_trace(in).size(), 1u);
+}
+
+TEST(TraceArchiveTest, FilterUsefulDropsNoise) {
+  std::vector<PacketRecord> records;
+  records.push_back(sample_record());  // outgoing data: keep
+  PacketRecord syn = sample_record();
+  syn.payload_bytes = 0;
+  syn.syn = true;
+  records.push_back(syn);  // drop (no payload, not an incoming ack)
+  PacketRecord in_data = sample_record();
+  in_data.direction = net::TapDirection::kIncoming;
+  records.push_back(in_data);  // drop (incoming data is the peer's problem)
+  PacketRecord in_ack = sample_record();
+  in_ack.direction = net::TapDirection::kIncoming;
+  in_ack.is_ack = true;
+  in_ack.payload_bytes = 0;
+  records.push_back(in_ack);  // keep
+  EXPECT_EQ(filter_useful(records).size(), 2u);
+}
+
+// --- offline analysis -----------------------------------------------------------
+
+TEST(OfflineAnalysisTest, MatchesOnlineOnRecordedTraffic) {
+  // Record a monitored transfer with cross traffic, then analyze offline:
+  // the offline estimate must land near the online one (same machinery).
+  LanEnv env;
+  TraceFacility trace(env.net, env.sender, 1 << 20);
+  OnlineAnalyzer online(env.net, env.sender);
+
+  transport::CbrUdpSource cbr(*env.stack, env.cross, env.receiver, 7000, 40e6, 1000);
+  cbr.start();
+  std::vector<transport::MessagePhase> phases{
+      {.count = 100, .message_bytes = 200'000, .spacing = millis(100), .pause_after = 0}};
+  transport::MessageSource app(*env.stack, env.sender, env.receiver, 9000, phases);
+  app.start();
+  env.sim.run_until(seconds(10.0));
+
+  const auto online_bw = online.available_bandwidth_bps(env.receiver);
+  ASSERT_TRUE(online_bw.has_value());
+
+  const auto records = filter_useful(trace.collect());
+  ASSERT_GT(records.size(), 1000u);
+  const OfflineResult result = analyze_offline(records);
+  ASSERT_EQ(result.flows_analyzed, 1u);
+  ASSERT_EQ(result.estimates_bps.size(), 1u);
+  EXPECT_NEAR(result.estimates_bps[0].second, *online_bw, 0.25 * *online_bw);
+  EXPECT_GT(result.observations.size(), 10u);
+}
+
+TEST(OfflineAnalysisTest, ArchiveRoundTripPreservesAnalysis) {
+  LanEnv env;
+  TraceFacility trace(env.net, env.sender, 1 << 20);
+  std::vector<transport::MessagePhase> phases{
+      {.count = 60, .message_bytes = 200'000, .spacing = millis(100), .pause_after = 0}};
+  transport::MessageSource app(*env.stack, env.sender, env.receiver, 9000, phases);
+  app.start();
+  env.sim.run_until(seconds(7.0));
+
+  const auto records = filter_useful(trace.collect());
+  std::stringstream ss;
+  write_trace(ss, records);
+  const auto reread = read_trace(ss);
+  ASSERT_EQ(reread.size(), records.size());
+
+  const OfflineResult direct = analyze_offline(records);
+  const OfflineResult via_archive = analyze_offline(reread);
+  ASSERT_EQ(direct.estimates_bps.size(), via_archive.estimates_bps.size());
+  for (std::size_t i = 0; i < direct.estimates_bps.size(); ++i) {
+    EXPECT_DOUBLE_EQ(direct.estimates_bps[i].second, via_archive.estimates_bps[i].second);
+  }
+}
+
+TEST(OfflineAnalysisTest, EmptyTraceYieldsNothing) {
+  const OfflineResult result = analyze_offline({});
+  EXPECT_EQ(result.flows_analyzed, 0u);
+  EXPECT_TRUE(result.estimates_bps.empty());
+}
+
+// --- active prober ----------------------------------------------------------------
+
+class ActiveProberSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ActiveProberSweepTest, BinarySearchFindsResidual) {
+  const double cross_rate = GetParam();
+  LanEnv env;
+  transport::CbrUdpSource cbr(*env.stack, env.cross, env.receiver, 7000, cross_rate, 1000);
+  if (cross_rate > 0) cbr.start();
+
+  ActiveProbeParams params;
+  params.max_rate_bps = 100e6;
+  ActiveProber prober(*env.stack, env.sender, env.receiver, 8800, params);
+  double estimate = 0;
+  prober.start([&](double bps) { estimate = bps; });
+  env.sim.run_until(seconds(20.0));
+
+  ASSERT_TRUE(prober.finished());
+  const double truth = 100e6 - cross_rate;
+  EXPECT_NEAR(estimate, truth, 0.25 * truth) << "cross " << cross_rate;
+  EXPECT_GT(prober.bytes_injected(), 0u);  // the cost Wren avoids
+  EXPECT_EQ(prober.trains_sent(), params.iterations * params.trains_per_rate);
+}
+
+INSTANTIATE_TEST_SUITE_P(CrossRates, ActiveProberSweepTest,
+                         ::testing::Values(0.0, 30e6, 60e6));
+
+TEST(ActiveProberTest, InjectsSubstantialProbeTraffic) {
+  LanEnv env;
+  ActiveProbeParams params;
+  params.max_rate_bps = 100e6;
+  ActiveProber prober(*env.stack, env.sender, env.receiver, 8800, params);
+  prober.start(nullptr);
+  env.sim.run_until(seconds(20.0));
+  // 10 trains x 24 packets x ~1228B.
+  EXPECT_GT(prober.bytes_injected(), 250'000u);
+}
+
+}  // namespace
+}  // namespace vw::wren

@@ -1,0 +1,502 @@
+// Tests for Wren: the packet trace facility, train extraction, SIC
+// available-bandwidth estimation (unit-level on synthetic records and
+// end-to-end against simulated traffic with known cross traffic), the
+// online analyzer, the SOAP service and the global network view.
+
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+#include "net/probe.hpp"
+#include "sim/simulator.hpp"
+#include "soap/rpc.hpp"
+#include "transport/sources.hpp"
+#include "transport/stack.hpp"
+#include "wren/analyzer.hpp"
+#include "wren/service.hpp"
+#include "wren/sic.hpp"
+#include "wren/trace.hpp"
+#include "wren/train.hpp"
+#include "wren/view.hpp"
+
+namespace vw::wren {
+namespace {
+
+using net::FlowKey;
+using net::Protocol;
+using net::TapDirection;
+
+FlowKey test_flow() { return FlowKey{0, 1, 100, 200, Protocol::kTcp}; }
+
+PacketRecord out_record(SimTime t, std::uint64_t seq, std::uint32_t payload = 1460) {
+  PacketRecord r;
+  r.timestamp = t;
+  r.direction = TapDirection::kOutgoing;
+  r.flow = test_flow();
+  r.payload_bytes = payload;
+  r.wire_bytes = payload + 40;
+  r.seq = seq;
+  return r;
+}
+
+// --- TrainExtractor ----------------------------------------------------------
+
+TEST(TrainExtractorTest, UniformSpacingFormsOneTrain) {
+  std::vector<Train> trains;
+  TrainExtractor ex(test_flow(), TrainParams{}, [&](const Train& t) { trains.push_back(t); });
+  // 10 packets spaced 120us (1500B at 100Mbps), then silence -> flush.
+  for (int i = 0; i < 10; ++i) {
+    ex.add(out_record(i * micros(120), static_cast<std::uint64_t>(i) * 1460));
+  }
+  ex.flush();
+  ASSERT_EQ(trains.size(), 1u);
+  EXPECT_EQ(trains[0].length(), 10u);
+  // ISR: 9 packets of 1500B over 9*120us = 100 Mbps.
+  EXPECT_NEAR(trains[0].isr_bps, 100e6, 1e6);
+}
+
+TEST(TrainExtractorTest, LongGapBreaksTrain) {
+  std::vector<Train> trains;
+  TrainExtractor ex(test_flow(), TrainParams{}, [&](const Train& t) { trains.push_back(t); });
+  for (int i = 0; i < 6; ++i) {
+    ex.add(out_record(i * micros(120), static_cast<std::uint64_t>(i) * 1460));
+  }
+  // 50ms silence (> max_gap), then 6 more.
+  for (int i = 0; i < 6; ++i) {
+    ex.add(out_record(millis(50) + i * micros(120), (6 + static_cast<std::uint64_t>(i)) * 1460));
+  }
+  ex.flush();
+  EXPECT_EQ(trains.size(), 2u);
+}
+
+TEST(TrainExtractorTest, ShortRunsAreDiscarded) {
+  std::vector<Train> trains;
+  TrainParams params;
+  params.min_length = 5;
+  TrainExtractor ex(test_flow(), params, [&](const Train& t) { trains.push_back(t); });
+  for (int i = 0; i < 4; ++i) {
+    ex.add(out_record(i * micros(120), static_cast<std::uint64_t>(i) * 1460));
+  }
+  ex.flush();
+  EXPECT_TRUE(trains.empty());
+}
+
+TEST(TrainExtractorTest, InconsistentSpacingSplitsMaximalRuns) {
+  std::vector<Train> trains;
+  TrainParams params;
+  params.spacing_tolerance = 2.0;
+  TrainExtractor ex(test_flow(), params, [&](const Train& t) { trains.push_back(t); });
+  // 8 tightly spaced, then a 9x jump in gap (still < max_gap), then 8 more.
+  SimTime t = 0;
+  std::uint64_t seq = 0;
+  for (int i = 0; i < 8; ++i, t += micros(100), seq += 1460) ex.add(out_record(t, seq));
+  t += micros(900);
+  for (int i = 0; i < 8; ++i, t += micros(100), seq += 1460) ex.add(out_record(t, seq));
+  ex.flush();
+  ASSERT_EQ(trains.size(), 2u);
+  EXPECT_GE(trains[0].length(), 8u);
+  EXPECT_GE(trains[1].length(), 8u);
+}
+
+TEST(TrainExtractorTest, VariableLengthTrainsAreMaximal) {
+  // The online tool scans for maximum-sized trains: a long uniform run must
+  // come out as ONE train, not several fixed-size ones.
+  std::vector<Train> trains;
+  TrainExtractor ex(test_flow(), TrainParams{}, [&](const Train& t) { trains.push_back(t); });
+  for (int i = 0; i < 100; ++i) {
+    ex.add(out_record(i * micros(120), static_cast<std::uint64_t>(i) * 1460));
+  }
+  ex.flush();
+  ASSERT_EQ(trains.size(), 1u);
+  EXPECT_EQ(trains[0].length(), 100u);
+}
+
+TEST(TrainExtractorTest, PureAcksIgnored) {
+  std::vector<Train> trains;
+  TrainExtractor ex(test_flow(), TrainParams{}, [&](const Train& t) { trains.push_back(t); });
+  PacketRecord ack = out_record(0, 0, 0);
+  ack.is_ack = true;
+  for (int i = 0; i < 10; ++i) {
+    ack.timestamp = i * micros(120);
+    ex.add(ack);
+  }
+  ex.flush();
+  EXPECT_TRUE(trains.empty());
+}
+
+TEST(TrainExtractorTest, FlowMismatchThrows) {
+  TrainExtractor ex(test_flow(), TrainParams{}, nullptr);
+  PacketRecord r = out_record(0, 0);
+  r.flow.dst_port = 999;
+  EXPECT_THROW(ex.add(r), std::invalid_argument);
+}
+
+// --- SicEstimator (synthetic) ---------------------------------------------------
+
+Train make_train(double isr_bps, std::size_t len = 10, SimTime start = 0) {
+  Train t;
+  t.flow = test_flow();
+  const double gap_s = 1500.0 * 8.0 / isr_bps;
+  for (std::size_t i = 0; i < len; ++i) {
+    t.packets.push_back(TrainPacket{start + seconds(gap_s * static_cast<double>(i)),
+                                    (i + 1) * 1460, 1500});
+  }
+  t.start_time = t.packets.front().sent_at;
+  t.end_time = t.packets.back().sent_at;
+  t.isr_bps = isr_bps;
+  return t;
+}
+
+/// Feed ACKs for `train` with either flat or linearly growing RTTs.
+void feed_acks(SicEstimator& est, const Train& train, SimTime base_rtt, SimTime rtt_growth) {
+  for (std::size_t i = 0; i < train.packets.size(); ++i) {
+    const TrainPacket& p = train.packets[i];
+    est.add_ack(p.sent_at + base_rtt + static_cast<SimTime>(i) * rtt_growth, p.seq_end);
+  }
+}
+
+TEST(SicEstimatorTest, UncongestedTrainRaisesEstimate) {
+  SicEstimator est;
+  const Train t = make_train(50e6);
+  est.add_train(t);
+  feed_acks(est, t, millis(1), 0);  // flat RTTs: no congestion
+  est.process(seconds(1.0));
+  ASSERT_TRUE(est.estimate_bps().has_value());
+  EXPECT_NEAR(*est.estimate_bps(), 50e6, 1e6);
+  ASSERT_EQ(est.window().size(), 1u);
+  EXPECT_FALSE(est.window().front().congested);
+}
+
+TEST(SicEstimatorTest, CongestedTrainUsesAckRate) {
+  SicEstimator est;
+  const Train t = make_train(100e6);
+  est.add_train(t);
+  // Increasing RTTs: congestion. ACK spacing stretches (50us per packet) so
+  // the ACK return rate falls below the ISR; the implied cross rate stays
+  // physical (below capacity), so the inversion yields a positive estimate.
+  feed_acks(est, t, millis(1), micros(50));
+  est.process(seconds(1.0));
+  ASSERT_EQ(est.window().size(), 1u);
+  const SicObservation& obs = est.window().front();
+  EXPECT_TRUE(obs.congested);
+  EXPECT_LT(obs.ack_rate_bps, obs.isr_bps);
+  ASSERT_TRUE(est.estimate_bps().has_value());
+  EXPECT_LT(*est.estimate_bps(), 100e6);
+  EXPECT_GT(*est.estimate_bps(), 0.0);
+}
+
+TEST(SicEstimatorTest, UniformAckStretchReadsAsSlowBottleneck) {
+  // ACKs stretched uniformly look exactly like transmission through a
+  // bottleneck of the ACK rate with no cross traffic: the capacity tracker
+  // (ACK-pair dispersion) and the congestion inversion agree on ack_rate as
+  // the available bandwidth.
+  SicEstimator est;
+  const Train t = make_train(100e6);
+  est.add_train(t);
+  feed_acks(est, t, millis(1), micros(300));
+  est.process(seconds(1.0));
+  ASSERT_EQ(est.window().size(), 1u);
+  const SicObservation& obs = est.window().front();
+  EXPECT_TRUE(obs.congested);
+  ASSERT_TRUE(est.estimate_bps().has_value());
+  EXPECT_NEAR(*est.estimate_bps(), obs.ack_rate_bps, 0.15 * obs.ack_rate_bps);
+  ASSERT_TRUE(est.capacity_estimate_bps().has_value());
+  EXPECT_LT(*est.capacity_estimate_bps(), 40e6);  // far below the 100 Mb/s ISR
+}
+
+TEST(SicEstimatorTest, TrainWithoutAcksTimesOut) {
+  SicEstimator est;
+  est.add_train(make_train(50e6));
+  est.process(seconds(10.0));  // way past pending_timeout
+  EXPECT_EQ(est.window().size(), 0u);
+  EXPECT_EQ(est.trains_dropped(), 1u);
+}
+
+TEST(SicEstimatorTest, ObservationCallbackFires) {
+  SicEstimator est;
+  int fired = 0;
+  est.set_on_observation([&](const SicObservation&) { ++fired; });
+  const Train t = make_train(20e6);
+  est.add_train(t);
+  feed_acks(est, t, millis(1), 0);
+  est.process(seconds(1.0));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(est.observations_total(), 1u);
+}
+
+TEST(SicEstimatorTest, WindowAgesOut) {
+  SicParams params;
+  params.window_age = seconds(5.0);
+  SicEstimator est(params);
+  const Train t = make_train(20e6);
+  est.add_train(t);
+  feed_acks(est, t, millis(1), 0);
+  est.process(seconds(1.0));
+  EXPECT_EQ(est.window().size(), 1u);
+  est.process(seconds(30.0));
+  EXPECT_EQ(est.window().size(), 0u);
+  // The smoothed estimate survives (last known value).
+  EXPECT_TRUE(est.estimate_bps().has_value());
+}
+
+TEST(SicEstimatorTest, MinRttTracked) {
+  SicEstimator est;
+  const Train t = make_train(20e6);
+  est.add_train(t);
+  feed_acks(est, t, millis(4), 0);
+  est.process(seconds(1.0));
+  ASSERT_TRUE(est.min_rtt_seconds().has_value());
+  EXPECT_NEAR(*est.min_rtt_seconds(), 0.004, 0.001);
+}
+
+TEST(SicEstimatorTest, DuplicateAcksIgnored) {
+  SicEstimator est;
+  est.add_ack(millis(1), 1000);
+  est.add_ack(millis(2), 1000);  // duplicate: must not corrupt the series
+  est.add_ack(millis(3), 500);   // regression: ignored
+  est.add_ack(millis(4), 2000);
+  const Train t = make_train(20e6, 5);
+  est.add_train(t);
+  feed_acks(est, t, millis(1), 0);
+  est.process(seconds(1.0));
+  EXPECT_EQ(est.window().size(), 1u);
+}
+
+// --- end-to-end: Wren measuring simulated traffic ---------------------------------
+
+struct WrenEnv {
+  sim::Simulator sim;
+  net::Network net{sim};
+  net::NodeId sender, receiver, cross, sw;
+  std::unique_ptr<transport::TransportStack> stack;
+
+  explicit WrenEnv(double bps = 100e6) {
+    sender = net.add_host("sender");
+    receiver = net.add_host("receiver");
+    cross = net.add_host("cross");
+    sw = net.add_router("switch");
+    net::LinkConfig cfg;
+    cfg.bits_per_sec = bps;
+    cfg.prop_delay = micros(50);
+    net.add_link(sender, sw, cfg);
+    net.add_link(cross, sw, cfg);
+    net.add_link(sw, receiver, cfg);
+    net.compute_routes();
+    stack = std::make_unique<transport::TransportStack>(net);
+  }
+};
+
+TEST(WrenEndToEndTest, TraceCapturesTcpOnly) {
+  WrenEnv env;
+  TraceFacility trace(env.net, env.sender);
+  auto udp_tx = env.stack->udp_bind(env.sender, 5001);
+  udp_tx->send_to(env.receiver, 5000, 500);
+  env.stack->tcp_listen(env.receiver, 80, [](transport::TcpConnection&) {});
+  env.stack->tcp_connect(env.sender, env.receiver, 80).send(10'000);
+  env.sim.run_until(seconds(2.0));
+  const auto records = trace.collect();
+  EXPECT_GT(records.size(), 0u);
+  for (const auto& r : records) EXPECT_EQ(r.flow.proto, Protocol::kTcp);
+}
+
+TEST(WrenEndToEndTest, AnalyzerMeasuresIdleLinkBandwidth) {
+  WrenEnv env;  // 100 Mbps, no cross traffic
+  OnlineAnalyzer analyzer(env.net, env.sender);
+  std::vector<transport::MessagePhase> phases{
+      {.count = 100, .message_bytes = 200'000, .spacing = millis(100), .pause_after = 0}};
+  transport::MessageSource app(*env.stack, env.sender, env.receiver, 9000, phases);
+  app.start();
+  env.sim.run_until(seconds(8.0));
+  const auto bw = analyzer.available_bandwidth_bps(env.receiver);
+  ASSERT_TRUE(bw.has_value());
+  // The whole 100 Mbps is available; expect within 25%.
+  EXPECT_GT(*bw, 75e6);
+  EXPECT_LT(*bw, 110e6);
+}
+
+TEST(WrenEndToEndTest, LatencyEstimateMatchesPath) {
+  WrenEnv env;
+  OnlineAnalyzer analyzer(env.net, env.sender);
+  std::vector<transport::MessagePhase> phases{
+      {.count = 50, .message_bytes = 100'000, .spacing = millis(50), .pause_after = 0}};
+  transport::MessageSource app(*env.stack, env.sender, env.receiver, 9000, phases);
+  app.start();
+  env.sim.run_until(seconds(4.0));
+  const auto lat = analyzer.latency_seconds(env.receiver);
+  ASSERT_TRUE(lat.has_value());
+  // One-way propagation is 100us; serialization adds some. Accept < 2ms.
+  EXPECT_GT(*lat, 0.00005);
+  EXPECT_LT(*lat, 0.002);
+}
+
+TEST(WrenEndToEndTest, PeersListedAfterTraffic) {
+  WrenEnv env;
+  OnlineAnalyzer analyzer(env.net, env.sender);
+  std::vector<transport::MessagePhase> phases{
+      {.count = 20, .message_bytes = 50'000, .spacing = millis(50), .pause_after = 0}};
+  transport::MessageSource app(*env.stack, env.sender, env.receiver, 9000, phases);
+  app.start();
+  env.sim.run_until(seconds(3.0));
+  const auto peers = analyzer.peers();
+  ASSERT_EQ(peers.size(), 1u);
+  EXPECT_EQ(peers[0], env.receiver);
+}
+
+// Property sweep: with CBR cross traffic consuming part of the bottleneck,
+// Wren's estimate must track the true residual bandwidth even though the
+// monitored application does not saturate the path.
+class WrenCrossTrafficTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(WrenCrossTrafficTest, EstimateTracksResidualBandwidth) {
+  const double cross_rate = GetParam();
+  WrenEnv env;  // 100 Mbps bottleneck
+  OnlineAnalyzer analyzer(env.net, env.sender);
+  transport::CbrUdpSource cbr(*env.stack, env.cross, env.receiver, 7000, cross_rate, 1000);
+  if (cross_rate > 0) cbr.start();
+  std::vector<transport::MessagePhase> phases{
+      {.count = 200, .message_bytes = 200'000, .spacing = millis(100), .pause_after = 0}};
+  transport::MessageSource app(*env.stack, env.sender, env.receiver, 9000, phases);
+  app.start();
+  env.sim.run_until(seconds(12.0));
+
+  const double expected_avail = 100e6 - cross_rate;
+  const auto bw = analyzer.available_bandwidth_bps(env.receiver);
+  ASSERT_TRUE(bw.has_value()) << "no estimate at cross rate " << cross_rate;
+  if (cross_rate <= 50e6) {
+    // Paper-grade accuracy: within 35% of truth (single path, bursty app).
+    EXPECT_GT(*bw, 0.65 * expected_avail) << "cross " << cross_rate;
+    EXPECT_LT(*bw, 1.35 * expected_avail) << "cross " << cross_rate;
+  } else {
+    // Dense unresponsive cross traffic consuming most of the path is a
+    // known hard regime for passive SIC: the application's line-rate bursts
+    // offer no rate diversity, and the bottleneck capacity cannot be
+    // identified from ACK dispersion (no two of our packets ever drain
+    // back-to-back). Wren still detects that most of the path is gone; we
+    // assert direction and bounds rather than a tight match.
+    EXPECT_LT(*bw, 0.60 * 100e6) << "cross " << cross_rate;
+    EXPECT_GT(*bw, 0.65 * expected_avail) << "cross " << cross_rate;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CrossRates, WrenCrossTrafficTest,
+                         ::testing::Values(0.0, 25e6, 50e6, 75e6));
+
+TEST(WrenEndToEndTest, CapacityEstimateFindsBottleneck) {
+  // Capacity (from ACK-pair dispersion) must report the bottleneck's line
+  // rate even while cross traffic holds the available bandwidth well below
+  // it — the two quantities are distinct.
+  WrenEnv env;  // 100 Mbps
+  OnlineAnalyzer analyzer(env.net, env.sender);
+  transport::CbrUdpSource cbr(*env.stack, env.cross, env.receiver, 7000, 40e6, 1000);
+  cbr.start();
+  std::vector<transport::MessagePhase> phases{
+      {.count = 100, .message_bytes = 200'000, .spacing = millis(100), .pause_after = 0}};
+  transport::MessageSource app(*env.stack, env.sender, env.receiver, 9000, phases);
+  app.start();
+  env.sim.run_until(seconds(10.0));
+  const auto cap = analyzer.capacity_bps(env.receiver);
+  ASSERT_TRUE(cap.has_value());
+  EXPECT_NEAR(*cap, 100e6, 12e6);
+  const auto avail = analyzer.available_bandwidth_bps(env.receiver);
+  ASSERT_TRUE(avail.has_value());
+  EXPECT_LT(*avail, *cap);
+}
+
+// --- SOAP service ---------------------------------------------------------------
+
+TEST(WrenServiceTest, BandwidthAndLatencyOverSoap) {
+  WrenEnv env;
+  OnlineAnalyzer analyzer(env.net, env.sender);
+  soap::RpcRegistry registry;
+  WrenService service(registry, analyzer, "wren://sender");
+  WrenClient client(registry, "wren://sender");
+
+  std::vector<transport::MessagePhase> phases{
+      {.count = 100, .message_bytes = 200'000, .spacing = millis(100), .pause_after = 0}};
+  transport::MessageSource app(*env.stack, env.sender, env.receiver, 9000, phases);
+  app.start();
+  env.sim.run_until(seconds(8.0));
+
+  const auto bw = client.available_bandwidth_bps(env.receiver);
+  ASSERT_TRUE(bw.has_value());
+  EXPECT_GT(*bw, 50e6);
+  EXPECT_TRUE(client.latency_seconds(env.receiver).has_value());
+  EXPECT_EQ(client.peers().size(), 1u);
+}
+
+TEST(WrenServiceTest, ObservationStreamIsIncremental) {
+  WrenEnv env;
+  OnlineAnalyzer analyzer(env.net, env.sender);
+  soap::RpcRegistry registry;
+  WrenService service(registry, analyzer, "wren://sender");
+  WrenClient client(registry, "wren://sender");
+
+  std::vector<transport::MessagePhase> phases{
+      {.count = 60, .message_bytes = 200'000, .spacing = millis(100), .pause_after = 0}};
+  transport::MessageSource app(*env.stack, env.sender, env.receiver, 9000, phases);
+  app.start();
+  env.sim.run_until(seconds(3.0));
+  auto [batch1, max1] = client.observations(0);
+  EXPECT_GT(batch1.size(), 0u);
+  env.sim.run_until(seconds(6.0));
+  auto [batch2, max2] = client.observations(max1);
+  EXPECT_GT(max2, max1);
+  for (const auto& so : batch2) EXPECT_GT(so.id, max1);
+}
+
+TEST(WrenServiceTest, CapacityOverSoap) {
+  WrenEnv env;
+  OnlineAnalyzer analyzer(env.net, env.sender);
+  soap::RpcRegistry registry;
+  WrenService service(registry, analyzer, "wren://sender");
+  WrenClient client(registry, "wren://sender");
+  std::vector<transport::MessagePhase> phases{
+      {.count = 80, .message_bytes = 200'000, .spacing = millis(100), .pause_after = 0}};
+  transport::MessageSource app(*env.stack, env.sender, env.receiver, 9000, phases);
+  app.start();
+  env.sim.run_until(seconds(6.0));
+  const auto cap = client.capacity_bps(env.receiver);
+  ASSERT_TRUE(cap.has_value());
+  EXPECT_NEAR(*cap, 100e6, 12e6);
+}
+
+TEST(WrenServiceTest, UnknownPeerReturnsEmpty) {
+  WrenEnv env;
+  OnlineAnalyzer analyzer(env.net, env.sender);
+  soap::RpcRegistry registry;
+  WrenService service(registry, analyzer, "wren://sender");
+  WrenClient client(registry, "wren://sender");
+  EXPECT_FALSE(client.available_bandwidth_bps(42).has_value());
+  EXPECT_FALSE(client.latency_seconds(42).has_value());
+}
+
+// --- GlobalNetworkView ------------------------------------------------------------
+
+TEST(GlobalViewTest, UpdatesAndQueries) {
+  GlobalNetworkView view;
+  view.update_bandwidth(1, 2, 50e6, seconds(1.0));
+  view.update_latency(1, 2, 0.010, seconds(1.0));
+  EXPECT_DOUBLE_EQ(*view.bandwidth_bps(1, 2), 50e6);
+  EXPECT_DOUBLE_EQ(*view.latency_seconds(1, 2), 0.010);
+  EXPECT_FALSE(view.bandwidth_bps(2, 1).has_value());  // directed
+  EXPECT_EQ(view.measured_pairs().size(), 1u);
+}
+
+TEST(GlobalViewTest, LaterUpdateWins) {
+  GlobalNetworkView view;
+  view.update_bandwidth(1, 2, 50e6, seconds(1.0));
+  view.update_bandwidth(1, 2, 30e6, seconds(2.0));
+  EXPECT_DOUBLE_EQ(*view.bandwidth_bps(1, 2), 30e6);
+}
+
+TEST(GlobalViewTest, AdjacencyListOnlyMeasuredPairs) {
+  GlobalNetworkView view;
+  view.update_bandwidth(0, 1, 10e6, 0);
+  view.update_latency(1, 2, 0.01, 0);  // latency only: no bandwidth entry
+  const auto adj = view.bandwidth_adjacency();
+  ASSERT_EQ(adj.size(), 1u);
+  EXPECT_EQ(std::get<0>(adj[0]), 0u);
+  EXPECT_EQ(std::get<1>(adj[0]), 1u);
+}
+
+}  // namespace
+}  // namespace vw::wren
