@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sa.dir/ablation_sa.cpp.o"
+  "CMakeFiles/ablation_sa.dir/ablation_sa.cpp.o.d"
+  "ablation_sa"
+  "ablation_sa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

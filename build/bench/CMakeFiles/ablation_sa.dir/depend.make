@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_sa.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_wren.dir/ablation_wren.cpp.o"
+  "CMakeFiles/ablation_wren.dir/ablation_wren.cpp.o.d"
+  "ablation_wren"
+  "ablation_wren.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_wren.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/active_vs_passive.dir/active_vs_passive.cpp.o"
+  "CMakeFiles/active_vs_passive.dir/active_vs_passive.cpp.o.d"
+  "active_vs_passive"
+  "active_vs_passive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/active_vs_passive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

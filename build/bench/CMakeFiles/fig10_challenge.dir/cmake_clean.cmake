@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_challenge.dir/fig10_challenge.cpp.o"
+  "CMakeFiles/fig10_challenge.dir/fig10_challenge.cpp.o.d"
+  "fig10_challenge"
+  "fig10_challenge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_challenge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_lan_availbw.dir/fig2_lan_availbw.cpp.o"
+  "CMakeFiles/fig2_lan_availbw.dir/fig2_lan_availbw.cpp.o.d"
+  "fig2_lan_availbw"
+  "fig2_lan_availbw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_lan_availbw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_wan_availbw.dir/fig3_wan_availbw.cpp.o"
+  "CMakeFiles/fig3_wan_availbw.dir/fig3_wan_availbw.cpp.o.d"
+  "fig3_wan_availbw"
+  "fig3_wan_availbw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_wan_availbw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

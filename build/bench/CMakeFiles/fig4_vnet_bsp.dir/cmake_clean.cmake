@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_vnet_bsp.dir/fig4_vnet_bsp.cpp.o"
+  "CMakeFiles/fig4_vnet_bsp.dir/fig4_vnet_bsp.cpp.o.d"
+  "fig4_vnet_bsp"
+  "fig4_vnet_bsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_vnet_bsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

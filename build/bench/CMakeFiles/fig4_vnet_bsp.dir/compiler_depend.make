@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig4_vnet_bsp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_testbed_ttcp.dir/fig6_testbed_ttcp.cpp.o"
+  "CMakeFiles/fig6_testbed_ttcp.dir/fig6_testbed_ttcp.cpp.o.d"
+  "fig6_testbed_ttcp"
+  "fig6_testbed_ttcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_testbed_ttcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_vttif_topology.dir/fig7_vttif_topology.cpp.o"
+  "CMakeFiles/fig7_vttif_topology.dir/fig7_vttif_topology.cpp.o.d"
+  "fig7_vttif_topology"
+  "fig7_vttif_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_vttif_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_adapt_testbed.dir/fig8_adapt_testbed.cpp.o"
+  "CMakeFiles/fig8_adapt_testbed.dir/fig8_adapt_testbed.cpp.o.d"
+  "fig8_adapt_testbed"
+  "fig8_adapt_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_adapt_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

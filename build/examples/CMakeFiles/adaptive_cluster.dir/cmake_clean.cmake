@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_cluster.dir/adaptive_cluster.cpp.o"
+  "CMakeFiles/adaptive_cluster.dir/adaptive_cluster.cpp.o.d"
+  "adaptive_cluster"
+  "adaptive_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overlay_bsp.dir/overlay_bsp.cpp.o"
+  "CMakeFiles/overlay_bsp.dir/overlay_bsp.cpp.o.d"
+  "overlay_bsp"
+  "overlay_bsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overlay_bsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

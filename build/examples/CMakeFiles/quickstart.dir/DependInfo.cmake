@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/virtuoso/CMakeFiles/vw_virtuoso.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/vw_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/vadapt/CMakeFiles/vw_vadapt.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/vw_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/vttif/CMakeFiles/vw_vttif.dir/DependInfo.cmake"
+  "/root/repo/build/src/vnet/CMakeFiles/vw_vnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/wren/CMakeFiles/vw_wren.dir/DependInfo.cmake"
+  "/root/repo/build/src/soap/CMakeFiles/vw_soap.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/vw_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vw_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

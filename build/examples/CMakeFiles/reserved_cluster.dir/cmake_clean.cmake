@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reserved_cluster.dir/reserved_cluster.cpp.o"
+  "CMakeFiles/reserved_cluster.dir/reserved_cluster.cpp.o.d"
+  "reserved_cluster"
+  "reserved_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reserved_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

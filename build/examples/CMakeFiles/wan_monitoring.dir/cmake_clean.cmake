@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wan_monitoring.dir/wan_monitoring.cpp.o"
+  "CMakeFiles/wan_monitoring.dir/wan_monitoring.cpp.o.d"
+  "wan_monitoring"
+  "wan_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wan_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

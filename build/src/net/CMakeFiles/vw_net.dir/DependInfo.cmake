@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/link.cpp" "src/net/CMakeFiles/vw_net.dir/link.cpp.o" "gcc" "src/net/CMakeFiles/vw_net.dir/link.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/net/CMakeFiles/vw_net.dir/network.cpp.o" "gcc" "src/net/CMakeFiles/vw_net.dir/network.cpp.o.d"
+  "/root/repo/src/net/probe.cpp" "src/net/CMakeFiles/vw_net.dir/probe.cpp.o" "gcc" "src/net/CMakeFiles/vw_net.dir/probe.cpp.o.d"
+  "/root/repo/src/net/reservation.cpp" "src/net/CMakeFiles/vw_net.dir/reservation.cpp.o" "gcc" "src/net/CMakeFiles/vw_net.dir/reservation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/vw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vw_net.dir/link.cpp.o"
+  "CMakeFiles/vw_net.dir/link.cpp.o.d"
+  "CMakeFiles/vw_net.dir/network.cpp.o"
+  "CMakeFiles/vw_net.dir/network.cpp.o.d"
+  "CMakeFiles/vw_net.dir/probe.cpp.o"
+  "CMakeFiles/vw_net.dir/probe.cpp.o.d"
+  "CMakeFiles/vw_net.dir/reservation.cpp.o"
+  "CMakeFiles/vw_net.dir/reservation.cpp.o.d"
+  "libvw_net.a"
+  "libvw_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vw_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vw_sim.dir/simulator.cpp.o"
+  "CMakeFiles/vw_sim.dir/simulator.cpp.o.d"
+  "libvw_sim.a"
+  "libvw_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vw_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vw_soap.dir/rpc.cpp.o"
+  "CMakeFiles/vw_soap.dir/rpc.cpp.o.d"
+  "CMakeFiles/vw_soap.dir/xml.cpp.o"
+  "CMakeFiles/vw_soap.dir/xml.cpp.o.d"
+  "libvw_soap.a"
+  "libvw_soap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vw_soap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vw_topo.dir/brite.cpp.o"
+  "CMakeFiles/vw_topo.dir/brite.cpp.o.d"
+  "CMakeFiles/vw_topo.dir/testbed.cpp.o"
+  "CMakeFiles/vw_topo.dir/testbed.cpp.o.d"
+  "libvw_topo.a"
+  "libvw_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vw_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

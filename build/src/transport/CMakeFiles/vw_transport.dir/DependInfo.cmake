@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/meter.cpp" "src/transport/CMakeFiles/vw_transport.dir/meter.cpp.o" "gcc" "src/transport/CMakeFiles/vw_transport.dir/meter.cpp.o.d"
+  "/root/repo/src/transport/sources.cpp" "src/transport/CMakeFiles/vw_transport.dir/sources.cpp.o" "gcc" "src/transport/CMakeFiles/vw_transport.dir/sources.cpp.o.d"
+  "/root/repo/src/transport/stack.cpp" "src/transport/CMakeFiles/vw_transport.dir/stack.cpp.o" "gcc" "src/transport/CMakeFiles/vw_transport.dir/stack.cpp.o.d"
+  "/root/repo/src/transport/tcp.cpp" "src/transport/CMakeFiles/vw_transport.dir/tcp.cpp.o" "gcc" "src/transport/CMakeFiles/vw_transport.dir/tcp.cpp.o.d"
+  "/root/repo/src/transport/udp.cpp" "src/transport/CMakeFiles/vw_transport.dir/udp.cpp.o" "gcc" "src/transport/CMakeFiles/vw_transport.dir/udp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/vw_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vw_transport.dir/meter.cpp.o"
+  "CMakeFiles/vw_transport.dir/meter.cpp.o.d"
+  "CMakeFiles/vw_transport.dir/sources.cpp.o"
+  "CMakeFiles/vw_transport.dir/sources.cpp.o.d"
+  "CMakeFiles/vw_transport.dir/stack.cpp.o"
+  "CMakeFiles/vw_transport.dir/stack.cpp.o.d"
+  "CMakeFiles/vw_transport.dir/tcp.cpp.o"
+  "CMakeFiles/vw_transport.dir/tcp.cpp.o.d"
+  "CMakeFiles/vw_transport.dir/udp.cpp.o"
+  "CMakeFiles/vw_transport.dir/udp.cpp.o.d"
+  "libvw_transport.a"
+  "libvw_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vw_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vw_util.dir/csv.cpp.o"
+  "CMakeFiles/vw_util.dir/csv.cpp.o.d"
+  "CMakeFiles/vw_util.dir/log.cpp.o"
+  "CMakeFiles/vw_util.dir/log.cpp.o.d"
+  "CMakeFiles/vw_util.dir/rng.cpp.o"
+  "CMakeFiles/vw_util.dir/rng.cpp.o.d"
+  "CMakeFiles/vw_util.dir/stats.cpp.o"
+  "CMakeFiles/vw_util.dir/stats.cpp.o.d"
+  "CMakeFiles/vw_util.dir/trend.cpp.o"
+  "CMakeFiles/vw_util.dir/trend.cpp.o.d"
+  "libvw_util.a"
+  "libvw_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vw_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

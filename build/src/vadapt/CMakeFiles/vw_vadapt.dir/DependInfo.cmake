@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vadapt/annealing.cpp" "src/vadapt/CMakeFiles/vw_vadapt.dir/annealing.cpp.o" "gcc" "src/vadapt/CMakeFiles/vw_vadapt.dir/annealing.cpp.o.d"
+  "/root/repo/src/vadapt/enumerate.cpp" "src/vadapt/CMakeFiles/vw_vadapt.dir/enumerate.cpp.o" "gcc" "src/vadapt/CMakeFiles/vw_vadapt.dir/enumerate.cpp.o.d"
+  "/root/repo/src/vadapt/greedy.cpp" "src/vadapt/CMakeFiles/vw_vadapt.dir/greedy.cpp.o" "gcc" "src/vadapt/CMakeFiles/vw_vadapt.dir/greedy.cpp.o.d"
+  "/root/repo/src/vadapt/problem.cpp" "src/vadapt/CMakeFiles/vw_vadapt.dir/problem.cpp.o" "gcc" "src/vadapt/CMakeFiles/vw_vadapt.dir/problem.cpp.o.d"
+  "/root/repo/src/vadapt/reservations.cpp" "src/vadapt/CMakeFiles/vw_vadapt.dir/reservations.cpp.o" "gcc" "src/vadapt/CMakeFiles/vw_vadapt.dir/reservations.cpp.o.d"
+  "/root/repo/src/vadapt/widest_path.cpp" "src/vadapt/CMakeFiles/vw_vadapt.dir/widest_path.cpp.o" "gcc" "src/vadapt/CMakeFiles/vw_vadapt.dir/widest_path.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/vw_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vw_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vw_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

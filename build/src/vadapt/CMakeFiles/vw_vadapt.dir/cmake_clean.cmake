@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vw_vadapt.dir/annealing.cpp.o"
+  "CMakeFiles/vw_vadapt.dir/annealing.cpp.o.d"
+  "CMakeFiles/vw_vadapt.dir/enumerate.cpp.o"
+  "CMakeFiles/vw_vadapt.dir/enumerate.cpp.o.d"
+  "CMakeFiles/vw_vadapt.dir/greedy.cpp.o"
+  "CMakeFiles/vw_vadapt.dir/greedy.cpp.o.d"
+  "CMakeFiles/vw_vadapt.dir/problem.cpp.o"
+  "CMakeFiles/vw_vadapt.dir/problem.cpp.o.d"
+  "CMakeFiles/vw_vadapt.dir/reservations.cpp.o"
+  "CMakeFiles/vw_vadapt.dir/reservations.cpp.o.d"
+  "CMakeFiles/vw_vadapt.dir/widest_path.cpp.o"
+  "CMakeFiles/vw_vadapt.dir/widest_path.cpp.o.d"
+  "libvw_vadapt.a"
+  "libvw_vadapt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vw_vadapt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vw_virtuoso.dir/system.cpp.o"
+  "CMakeFiles/vw_virtuoso.dir/system.cpp.o.d"
+  "libvw_virtuoso.a"
+  "libvw_virtuoso.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vw_virtuoso.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/apps.cpp" "src/vm/CMakeFiles/vw_vm.dir/apps.cpp.o" "gcc" "src/vm/CMakeFiles/vw_vm.dir/apps.cpp.o.d"
+  "/root/repo/src/vm/machine.cpp" "src/vm/CMakeFiles/vw_vm.dir/machine.cpp.o" "gcc" "src/vm/CMakeFiles/vw_vm.dir/machine.cpp.o.d"
+  "/root/repo/src/vm/migration.cpp" "src/vm/CMakeFiles/vw_vm.dir/migration.cpp.o" "gcc" "src/vm/CMakeFiles/vw_vm.dir/migration.cpp.o.d"
+  "/root/repo/src/vm/vsched.cpp" "src/vm/CMakeFiles/vw_vm.dir/vsched.cpp.o" "gcc" "src/vm/CMakeFiles/vw_vm.dir/vsched.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vnet/CMakeFiles/vw_vnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vw_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/soap/CMakeFiles/vw_soap.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/vw_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vw_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vw_vm.dir/apps.cpp.o"
+  "CMakeFiles/vw_vm.dir/apps.cpp.o.d"
+  "CMakeFiles/vw_vm.dir/machine.cpp.o"
+  "CMakeFiles/vw_vm.dir/machine.cpp.o.d"
+  "CMakeFiles/vw_vm.dir/migration.cpp.o"
+  "CMakeFiles/vw_vm.dir/migration.cpp.o.d"
+  "CMakeFiles/vw_vm.dir/vsched.cpp.o"
+  "CMakeFiles/vw_vm.dir/vsched.cpp.o.d"
+  "libvw_vm.a"
+  "libvw_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vw_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

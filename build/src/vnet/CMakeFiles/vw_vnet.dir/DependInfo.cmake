@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vnet/control.cpp" "src/vnet/CMakeFiles/vw_vnet.dir/control.cpp.o" "gcc" "src/vnet/CMakeFiles/vw_vnet.dir/control.cpp.o.d"
+  "/root/repo/src/vnet/daemon.cpp" "src/vnet/CMakeFiles/vw_vnet.dir/daemon.cpp.o" "gcc" "src/vnet/CMakeFiles/vw_vnet.dir/daemon.cpp.o.d"
+  "/root/repo/src/vnet/links.cpp" "src/vnet/CMakeFiles/vw_vnet.dir/links.cpp.o" "gcc" "src/vnet/CMakeFiles/vw_vnet.dir/links.cpp.o.d"
+  "/root/repo/src/vnet/overlay.cpp" "src/vnet/CMakeFiles/vw_vnet.dir/overlay.cpp.o" "gcc" "src/vnet/CMakeFiles/vw_vnet.dir/overlay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/soap/CMakeFiles/vw_soap.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/vw_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vw_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vw_vnet.dir/control.cpp.o"
+  "CMakeFiles/vw_vnet.dir/control.cpp.o.d"
+  "CMakeFiles/vw_vnet.dir/daemon.cpp.o"
+  "CMakeFiles/vw_vnet.dir/daemon.cpp.o.d"
+  "CMakeFiles/vw_vnet.dir/links.cpp.o"
+  "CMakeFiles/vw_vnet.dir/links.cpp.o.d"
+  "CMakeFiles/vw_vnet.dir/overlay.cpp.o"
+  "CMakeFiles/vw_vnet.dir/overlay.cpp.o.d"
+  "libvw_vnet.a"
+  "libvw_vnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vw_vnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

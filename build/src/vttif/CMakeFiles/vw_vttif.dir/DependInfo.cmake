@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vttif/classify.cpp" "src/vttif/CMakeFiles/vw_vttif.dir/classify.cpp.o" "gcc" "src/vttif/CMakeFiles/vw_vttif.dir/classify.cpp.o.d"
+  "/root/repo/src/vttif/global.cpp" "src/vttif/CMakeFiles/vw_vttif.dir/global.cpp.o" "gcc" "src/vttif/CMakeFiles/vw_vttif.dir/global.cpp.o.d"
+  "/root/repo/src/vttif/local.cpp" "src/vttif/CMakeFiles/vw_vttif.dir/local.cpp.o" "gcc" "src/vttif/CMakeFiles/vw_vttif.dir/local.cpp.o.d"
+  "/root/repo/src/vttif/matrix.cpp" "src/vttif/CMakeFiles/vw_vttif.dir/matrix.cpp.o" "gcc" "src/vttif/CMakeFiles/vw_vttif.dir/matrix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vnet/CMakeFiles/vw_vnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vw_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/soap/CMakeFiles/vw_soap.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/vw_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vw_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

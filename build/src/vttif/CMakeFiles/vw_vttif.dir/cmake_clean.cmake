@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vw_vttif.dir/classify.cpp.o"
+  "CMakeFiles/vw_vttif.dir/classify.cpp.o.d"
+  "CMakeFiles/vw_vttif.dir/global.cpp.o"
+  "CMakeFiles/vw_vttif.dir/global.cpp.o.d"
+  "CMakeFiles/vw_vttif.dir/local.cpp.o"
+  "CMakeFiles/vw_vttif.dir/local.cpp.o.d"
+  "CMakeFiles/vw_vttif.dir/matrix.cpp.o"
+  "CMakeFiles/vw_vttif.dir/matrix.cpp.o.d"
+  "libvw_vttif.a"
+  "libvw_vttif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vw_vttif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

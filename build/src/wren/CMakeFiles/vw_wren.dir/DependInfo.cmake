@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wren/active.cpp" "src/wren/CMakeFiles/vw_wren.dir/active.cpp.o" "gcc" "src/wren/CMakeFiles/vw_wren.dir/active.cpp.o.d"
+  "/root/repo/src/wren/analyzer.cpp" "src/wren/CMakeFiles/vw_wren.dir/analyzer.cpp.o" "gcc" "src/wren/CMakeFiles/vw_wren.dir/analyzer.cpp.o.d"
+  "/root/repo/src/wren/offline.cpp" "src/wren/CMakeFiles/vw_wren.dir/offline.cpp.o" "gcc" "src/wren/CMakeFiles/vw_wren.dir/offline.cpp.o.d"
+  "/root/repo/src/wren/service.cpp" "src/wren/CMakeFiles/vw_wren.dir/service.cpp.o" "gcc" "src/wren/CMakeFiles/vw_wren.dir/service.cpp.o.d"
+  "/root/repo/src/wren/sic.cpp" "src/wren/CMakeFiles/vw_wren.dir/sic.cpp.o" "gcc" "src/wren/CMakeFiles/vw_wren.dir/sic.cpp.o.d"
+  "/root/repo/src/wren/trace.cpp" "src/wren/CMakeFiles/vw_wren.dir/trace.cpp.o" "gcc" "src/wren/CMakeFiles/vw_wren.dir/trace.cpp.o.d"
+  "/root/repo/src/wren/train.cpp" "src/wren/CMakeFiles/vw_wren.dir/train.cpp.o" "gcc" "src/wren/CMakeFiles/vw_wren.dir/train.cpp.o.d"
+  "/root/repo/src/wren/view.cpp" "src/wren/CMakeFiles/vw_wren.dir/view.cpp.o" "gcc" "src/wren/CMakeFiles/vw_wren.dir/view.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/transport/CMakeFiles/vw_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vw_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/soap/CMakeFiles/vw_soap.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

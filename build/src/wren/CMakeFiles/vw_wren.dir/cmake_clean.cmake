@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vw_wren.dir/active.cpp.o"
+  "CMakeFiles/vw_wren.dir/active.cpp.o.d"
+  "CMakeFiles/vw_wren.dir/analyzer.cpp.o"
+  "CMakeFiles/vw_wren.dir/analyzer.cpp.o.d"
+  "CMakeFiles/vw_wren.dir/offline.cpp.o"
+  "CMakeFiles/vw_wren.dir/offline.cpp.o.d"
+  "CMakeFiles/vw_wren.dir/service.cpp.o"
+  "CMakeFiles/vw_wren.dir/service.cpp.o.d"
+  "CMakeFiles/vw_wren.dir/sic.cpp.o"
+  "CMakeFiles/vw_wren.dir/sic.cpp.o.d"
+  "CMakeFiles/vw_wren.dir/trace.cpp.o"
+  "CMakeFiles/vw_wren.dir/trace.cpp.o.d"
+  "CMakeFiles/vw_wren.dir/train.cpp.o"
+  "CMakeFiles/vw_wren.dir/train.cpp.o.d"
+  "CMakeFiles/vw_wren.dir/view.cpp.o"
+  "CMakeFiles/vw_wren.dir/view.cpp.o.d"
+  "libvw_wren.a"
+  "libvw_wren.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vw_wren.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delack_test.dir/delack_test.cpp.o"
+  "CMakeFiles/delack_test.dir/delack_test.cpp.o.d"
+  "delack_test"
+  "delack_test.pdb"
+  "delack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vadapt_test.dir/vadapt_test.cpp.o"
+  "CMakeFiles/vadapt_test.dir/vadapt_test.cpp.o.d"
+  "vadapt_test"
+  "vadapt_test.pdb"
+  "vadapt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vadapt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virtuoso_test.dir/virtuoso_test.cpp.o"
+  "CMakeFiles/virtuoso_test.dir/virtuoso_test.cpp.o.d"
+  "virtuoso_test"
+  "virtuoso_test.pdb"
+  "virtuoso_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virtuoso_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

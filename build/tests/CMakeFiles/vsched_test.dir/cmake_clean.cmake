@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsched_test.dir/vsched_test.cpp.o"
+  "CMakeFiles/vsched_test.dir/vsched_test.cpp.o.d"
+  "vsched_test"
+  "vsched_test.pdb"
+  "vsched_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsched_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

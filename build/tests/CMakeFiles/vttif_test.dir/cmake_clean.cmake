@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vttif_test.dir/vttif_test.cpp.o"
+  "CMakeFiles/vttif_test.dir/vttif_test.cpp.o.d"
+  "vttif_test"
+  "vttif_test.pdb"
+  "vttif_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vttif_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wren_offline_test.dir/wren_offline_test.cpp.o"
+  "CMakeFiles/wren_offline_test.dir/wren_offline_test.cpp.o.d"
+  "wren_offline_test"
+  "wren_offline_test.pdb"
+  "wren_offline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wren_offline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

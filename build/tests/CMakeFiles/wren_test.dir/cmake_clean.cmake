@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wren_test.dir/wren_test.cpp.o"
+  "CMakeFiles/wren_test.dir/wren_test.cpp.o.d"
+  "wren_test"
+  "wren_test.pdb"
+  "wren_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wren_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/transport_test[1]_include.cmake")
+include("/root/repo/build/tests/soap_test[1]_include.cmake")
+include("/root/repo/build/tests/wren_test[1]_include.cmake")
+include("/root/repo/build/tests/vnet_test[1]_include.cmake")
+include("/root/repo/build/tests/vttif_test[1]_include.cmake")
+include("/root/repo/build/tests/vm_test[1]_include.cmake")
+include("/root/repo/build/tests/vadapt_test[1]_include.cmake")
+include("/root/repo/build/tests/topo_test[1]_include.cmake")
+include("/root/repo/build/tests/virtuoso_test[1]_include.cmake")
+include("/root/repo/build/tests/failure_test[1]_include.cmake")
+include("/root/repo/build/tests/vsched_test[1]_include.cmake")
+include("/root/repo/build/tests/delack_test[1]_include.cmake")
+include("/root/repo/build/tests/wren_offline_test[1]_include.cmake")
