@@ -1,8 +1,9 @@
 #include "net/link.hpp"
 
 #include <algorithm>
-#include <stdexcept>
 #include <utility>
+
+#include "util/check.hpp"
 
 namespace vw::net {
 
@@ -15,17 +16,17 @@ Channel::Channel(sim::Simulator& sim, ChannelId id, NodeId from, NodeId to, doub
       bits_per_sec_(bits_per_sec),
       prop_delay_(prop_delay),
       queue_limit_bytes_(queue_limit_bytes) {
-  if (bits_per_sec_ <= 0) throw std::invalid_argument("Channel: capacity must be positive");
-  if (prop_delay_ < 0) throw std::invalid_argument("Channel: negative propagation delay");
+  VW_REQUIRE(bits_per_sec_ > 0, "Channel: capacity must be positive, got ", bits_per_sec_);
+  VW_REQUIRE(prop_delay_ >= 0, "Channel: negative propagation delay ", prop_delay_);
 }
 
 void Channel::set_capacity_bps(double bps) {
-  if (bps <= 0) throw std::invalid_argument("Channel: capacity must be positive");
+  VW_REQUIRE(bps > 0, "Channel: capacity must be positive, got ", bps);
   bits_per_sec_ = bps;
 }
 
 void Channel::set_loss(double p, Rng rng) {
-  if (p < 0 || p > 1) throw std::invalid_argument("Channel: loss probability out of range");
+  VW_REQUIRE(p >= 0 && p <= 1, "Channel: loss probability out of range: ", p);
   loss_p_ = p;
   loss_rng_ = rng;
 }
@@ -41,9 +42,8 @@ double Channel::reserved_bps() const {
 }
 
 bool Channel::add_reservation(const FlowKey& flow, double rate_bps, std::int64_t burst_bytes) {
-  if (rate_bps <= 0 || burst_bytes <= 0) {
-    throw std::invalid_argument("Channel: bad reservation parameters");
-  }
+  VW_REQUIRE(rate_bps > 0 && burst_bytes > 0, "Channel: bad reservation parameters (rate=",
+             rate_bps, " burst=", burst_bytes, ")");
   const double existing = reservations_.contains(flow) ? reservations_.at(flow).rate_bps : 0;
   if (reserved_bps() - existing + rate_bps > bits_per_sec_) return false;
   Reservation r;
@@ -106,10 +106,13 @@ void Channel::start_service() {
 
 void Channel::finish_service() {
   std::deque<Packet>& queue = serving_priority_ ? priority_queue_ : best_effort_queue_;
+  VW_ASSERT(!queue.empty(), "Channel::finish_service: serving an empty queue");
   Packet pkt = std::move(queue.front());
   queue.pop_front();
   const std::int64_t size = pkt.size_bytes();
   (serving_priority_ ? prio_bytes_ : be_bytes_) -= size;
+  VW_ASSERT(prio_bytes_ >= 0 && be_bytes_ >= 0,
+            "Channel: queued-byte accounting went negative");
   stats_.bytes_serialized += static_cast<std::uint64_t>(size);
   if (serving_priority_) ++stats_.priority_packets;
 

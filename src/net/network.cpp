@@ -1,11 +1,12 @@
 #include "net/network.hpp"
 
 #include <algorithm>
-
-#include "util/log.hpp"
 #include <limits>
 #include <queue>
 #include <stdexcept>
+
+#include "util/check.hpp"
+#include "util/log.hpp"
 
 namespace vw::net {
 
@@ -27,9 +28,9 @@ NodeId Network::add_node(std::string name, bool is_host) {
 }
 
 void Network::add_link(NodeId a, NodeId b, const LinkConfig& config) {
-  if (a >= nodes_.size() || b >= nodes_.size()) throw std::out_of_range("add_link: bad node");
-  if (a == b) throw std::invalid_argument("add_link: self link");
-  if (has_channel(a, b)) throw std::invalid_argument("add_link: duplicate link");
+  VW_REQUIRE(a < nodes_.size() && b < nodes_.size(), "add_link: bad node (", a, ", ", b, ")");
+  VW_REQUIRE(a != b, "add_link: self link on node ", a);
+  VW_REQUIRE(!has_channel(a, b), "add_link: duplicate link ", a, " <-> ", b);
   for (auto [from, to] : {std::pair{a, b}, std::pair{b, a}}) {
     auto ch = std::make_unique<Channel>(sim_, static_cast<ChannelId>(channels_.size()), from, to,
                                         config.bits_per_sec, config.prop_delay,
@@ -105,7 +106,7 @@ void Network::compute_routes() {
 }
 
 NodeId Network::next_hop(NodeId at, NodeId dst) const {
-  if (!routes_valid_) throw std::logic_error("Network: routes not computed");
+  VW_REQUIRE(routes_valid_, "Network: routes not computed before next_hop lookup");
   return next_hop_.at(at).at(dst);
 }
 
@@ -136,9 +137,8 @@ double Network::path_bottleneck_bps(NodeId a, NodeId b) const {
 }
 
 void Network::send(Packet pkt) {
-  if (pkt.flow.src >= nodes_.size() || pkt.flow.dst >= nodes_.size()) {
-    throw std::out_of_range("send: bad endpoint");
-  }
+  VW_REQUIRE(pkt.flow.src < nodes_.size() && pkt.flow.dst < nodes_.size(),
+             "Network::send: bad endpoint (src=", pkt.flow.src, " dst=", pkt.flow.dst, ")");
   pkt.id = next_packet_id_++;
   pkt.send_time = sim_.now();
   if (pkt.flow.src == pkt.flow.dst) {

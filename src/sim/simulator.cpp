@@ -1,13 +1,14 @@
 #include "sim/simulator.hpp"
 
-#include <stdexcept>
 #include <utility>
+
+#include "util/check.hpp"
 
 namespace vw::sim {
 
 EventHandle Simulator::schedule_at(SimTime at, Callback cb) {
-  if (at < now_) throw std::invalid_argument("Simulator::schedule_at: time in the past");
-  if (!cb) throw std::invalid_argument("Simulator::schedule_at: empty callback");
+  VW_REQUIRE(at >= now_, "Simulator::schedule_at: time in the past (at=", at, " now=", now_, ")");
+  VW_REQUIRE(cb != nullptr, "Simulator::schedule_at: empty callback");
   const std::uint64_t id = next_id_++;
   queue_.push(Event{at, next_seq_++, id, std::move(cb)});
   pending_ids_.insert(id);
@@ -21,6 +22,7 @@ bool Simulator::cancel(EventHandle handle) {
   if (it == pending_ids_.end()) return false;  // already executed or cancelled
   pending_ids_.erase(it);
   cancelled_.insert(handle.id_);
+  VW_ASSERT(live_events_ > 0, "Simulator::cancel: live-event count underflow");
   --live_events_;
   return true;
 }
@@ -34,6 +36,11 @@ bool Simulator::pop_and_run_next() {
       continue;
     }
     pending_ids_.erase(ev.id);
+    // Virtual time is monotone: the heap must never yield an event behind the
+    // clock — everything downstream (TCP RTT samples, Wren timestamps, VTTIF
+    // slots) assumes it.
+    VW_ASSERT(ev.at >= now_, "Simulator: event time regressed (at=", ev.at, " now=", now_, ")");
+    VW_ASSERT(live_events_ > 0, "Simulator: executing with zero live events");
     now_ = ev.at;
     --live_events_;
     ++executed_;
@@ -55,16 +62,18 @@ void Simulator::run_until(SimTime until) {
     pop_and_run_next();
   }
   if (now_ < until) now_ = until;
+  VW_ENSURE(now_ >= until, "Simulator::run_until: clock short of target");
 }
 
 void Simulator::run() {
   while (pop_and_run_next()) {
   }
+  VW_ENSURE(live_events_ == 0, "Simulator::run: queue drained but live events remain");
 }
 
 PeriodicTask::PeriodicTask(Simulator& sim, SimTime period, Simulator::Callback cb)
     : sim_(sim), period_(period), cb_(std::move(cb)) {
-  if (period_ <= 0) throw std::invalid_argument("PeriodicTask: period must be positive");
+  VW_REQUIRE(period_ > 0, "PeriodicTask: period must be positive, got ", period_);
   arm();
 }
 

@@ -1,13 +1,12 @@
 #include "transport/meter.hpp"
 
-#include <stdexcept>
+#include "util/check.hpp"
 
 namespace vw::transport {
 
 void RateMeter::add(SimTime t, std::uint64_t bytes) {
-  if (!events_.empty() && t < events_.back().time) {
-    throw std::invalid_argument("RateMeter::add: time went backwards");
-  }
+  VW_REQUIRE(events_.empty() || t >= events_.back().time,
+             "RateMeter::add: time went backwards (", t, " < ", events_.back().time, ")");
   events_.push_back(Event{t, bytes});
   total_ += bytes;
 }
@@ -22,7 +21,7 @@ double RateMeter::average_bps(SimTime t0, SimTime t1) const {
 }
 
 std::vector<RatePoint> RateMeter::series(SimTime bucket) const {
-  if (bucket <= 0) throw std::invalid_argument("RateMeter::series: bucket must be positive");
+  VW_REQUIRE(bucket > 0, "RateMeter::series: bucket must be positive, got ", bucket);
   std::vector<RatePoint> out;
   if (events_.empty()) return out;
   const SimTime end = events_.back().time;

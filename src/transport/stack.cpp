@@ -4,6 +4,7 @@
 
 #include "transport/tcp.hpp"
 #include "transport/udp.hpp"
+#include "util/check.hpp"
 
 namespace vw::transport {
 
@@ -30,6 +31,7 @@ void TransportStack::dispatch(net::Packet&& pkt) {
   switch (pkt.flow.proto) {
     case net::Protocol::kTcp: handle_tcp(std::move(pkt)); break;
     case net::Protocol::kUdp: handle_udp(std::move(pkt)); break;
+    default: VW_UNREACHABLE("dispatch: unknown protocol ", static_cast<int>(pkt.flow.proto));
   }
 }
 
@@ -67,9 +69,8 @@ void TransportStack::handle_tcp(net::Packet&& pkt) {
 
 void TransportStack::tcp_listen(net::NodeId host, std::uint16_t port, AcceptFn on_accept) {
   ensure_host_hooked(host);
-  if (!tcp_listeners_.try_emplace({host, port}, std::move(on_accept)).second) {
-    throw std::invalid_argument("tcp_listen: port already listening");
-  }
+  const bool fresh = tcp_listeners_.try_emplace({host, port}, std::move(on_accept)).second;
+  VW_REQUIRE(fresh, "tcp_listen: port ", port, " already listening on host ", host);
 }
 
 void TransportStack::tcp_unlisten(net::NodeId host, std::uint16_t port) {
@@ -82,6 +83,9 @@ TcpConnection& TransportStack::tcp_connect(net::NodeId src_host, net::NodeId dst
   ensure_host_hooked(dst_host);
   const net::FlowKey key{src_host, dst_host, ephemeral_port(src_host), dst_port,
                          net::Protocol::kTcp};
+  // Ephemeral allocation makes the flow key unique; a collision would let two
+  // connections silently swallow each other's segments.
+  VW_ASSERT(!tcp_conns_.contains(key), "tcp_connect: flow key already registered");
   auto conn = std::unique_ptr<TcpConnection>(
       new TcpConnection(*this, key, /*is_client=*/true, tcp_params_));
   TcpConnection* client = conn.get();
@@ -114,7 +118,8 @@ void TransportStack::unregister_tcp(const net::FlowKey& key) { tcp_conns_.erase(
 
 std::shared_ptr<UdpSocket> TransportStack::udp_bind(net::NodeId host, std::uint16_t port) {
   ensure_host_hooked(host);
-  if (udp_socks_.contains({host, port})) throw std::invalid_argument("udp_bind: port in use");
+  VW_REQUIRE(!udp_socks_.contains({host, port}), "udp_bind: port ", port,
+             " in use on host ", host);
   auto sock = std::shared_ptr<UdpSocket>(new UdpSocket(*this, host, port));
   udp_socks_[{host, port}] = sock.get();
   return sock;

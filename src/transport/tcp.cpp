@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "util/check.hpp"
+
 namespace vw::transport {
 
 TcpConnection::TcpConnection(TransportStack& stack, net::FlowKey flow, bool is_client,
@@ -182,6 +184,12 @@ void TcpConnection::send_pure_ack() {
 
 void TcpConnection::try_send() {
   if (state_ != State::kEstablished) return;
+  // Sequence-space sanity: una <= nxt <= buffered_end, else the in-flight
+  // arithmetic below underflows into a ~2^64-byte "window".
+  VW_ASSERT(snd_una_ <= snd_nxt_ && snd_nxt_ <= buffered_end_,
+            "TcpConnection: sequence bookkeeping broken (una=", snd_una_, " nxt=", snd_nxt_,
+            " end=", buffered_end_, ")");
+  VW_ASSERT(cwnd_ >= 1.0, "TcpConnection: congestion window collapsed to ", cwnd_);
   const std::uint64_t window = std::min<std::uint64_t>(
       static_cast<std::uint64_t>(cwnd_), params_.receive_window);
   while (snd_nxt_ < buffered_end_) {
@@ -223,6 +231,9 @@ void TcpConnection::handle_ack(const net::Packet& pkt) {
 }
 
 void TcpConnection::on_new_ack(std::uint64_t ack) {
+  VW_ASSERT(ack > snd_una_, "TcpConnection::on_new_ack: stale ACK ", ack, " <= ", snd_una_);
+  VW_ASSERT(ack <= buffered_end_, "TcpConnection::on_new_ack: ACK ", ack,
+            " beyond sent data end ", buffered_end_);
   // RTT sample (Karn's rule: ignore if the timed segment was retransmitted —
   // a retransmit clears rtt_sample_pending_ implicitly by resetting below).
   if (rtt_sample_pending_ && ack >= rtt_seq_) {

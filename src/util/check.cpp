@@ -1,0 +1,87 @@
+#include "util/check.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace vw::contracts {
+
+namespace {
+
+std::atomic<FailureHandler> g_handler{&default_failure_handler};
+std::atomic<bool> g_audit_enabled{true};
+
+std::string describe(const ContractViolation& violation) {
+  std::string out;
+  out.reserve(128);
+  out.append(violation.file);
+  out.push_back(':');
+  out.append(std::to_string(violation.line));
+  out.append(": ");
+  out.append(kind_name(violation.kind));
+  if (violation.kind == Kind::kUnreachable) {
+    out.append(" reached");
+  } else {
+    out.push_back('(');
+    out.append(violation.condition);
+    out.append(") failed");
+  }
+  if (!violation.message.empty()) {
+    out.append(": ");
+    out.append(violation.message);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string_view kind_name(Kind kind) {
+  switch (kind) {
+    case Kind::kRequire:
+      return "VW_REQUIRE";
+    case Kind::kEnsure:
+      return "VW_ENSURE";
+    case Kind::kAssert:
+      return "VW_ASSERT";
+    case Kind::kAudit:
+      return "VW_AUDIT";
+    case Kind::kUnreachable:
+      return "VW_UNREACHABLE";
+  }
+  return "VW_CONTRACT";
+}
+
+ContractError::ContractError(const ContractViolation& violation, const std::string& what)
+    : std::invalid_argument(what),
+      kind_(violation.kind),
+      file_(violation.file),
+      line_(violation.line) {}
+
+void default_failure_handler(const ContractViolation& violation) {
+  throw ContractError(violation, describe(violation));
+}
+
+FailureHandler set_failure_handler(FailureHandler handler) {
+  if (handler == nullptr) handler = &default_failure_handler;
+  return g_handler.exchange(handler);
+}
+
+FailureHandler failure_handler() { return g_handler.load(); }
+
+void set_audit_enabled(bool enabled) { g_audit_enabled.store(enabled); }
+
+bool audit_enabled() { return g_audit_enabled.load(); }
+
+void fail(Kind kind, std::string_view condition, std::string_view file, int line,
+          std::string message) {
+  const ContractViolation violation{kind, condition, file, line, std::move(message)};
+  g_handler.load()(violation);
+}
+
+void fail_unreachable(std::string_view file, int line, std::string message) {
+  fail(Kind::kUnreachable, "false", file, line, std::move(message));
+  // The handler tolerated an unreachable path; there is nothing sane to
+  // resume, so die rather than execute what the author proved impossible.
+  std::abort();
+}
+
+}  // namespace vw::contracts

@@ -1,7 +1,10 @@
 #include "util/trend.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstddef>
+
+#include "util/check.hpp"
 
 namespace vw {
 
@@ -52,6 +55,15 @@ double slope_ratio(std::span<const double> series) {
 }
 
 Trend detect_trend(std::span<const double> series, const TrendParams& params) {
+  VW_REQUIRE(params.pct_threshold >= 0.0 && params.pct_threshold <= 1.0,
+             "detect_trend: pct_threshold outside [0,1]: ", params.pct_threshold);
+  VW_REQUIRE(params.pdt_threshold >= -1.0 && params.pdt_threshold <= 1.0,
+             "detect_trend: pdt_threshold outside [-1,1]: ", params.pdt_threshold);
+  // PCT/PDT are meaningless over NaN/inf samples (comparisons go false and
+  // variation sums poison): reject polluted series at the boundary.
+  VW_AUDIT(std::all_of(series.begin(), series.end(),
+                       [](double v) { return std::isfinite(v); }),
+           "detect_trend: non-finite sample in series");
   if (series.size() < params.min_samples) return Trend::kUndecided;
   const bool pct_up = pct_metric(series) >= params.pct_threshold;
   const bool pdt_up = pdt_metric(series) >= params.pdt_threshold;

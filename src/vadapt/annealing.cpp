@@ -3,7 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
-#include <stdexcept>
+
+#include "util/check.hpp"
 
 namespace vw::vadapt {
 
@@ -91,7 +92,8 @@ void perturb_mapping(Configuration& conf, std::size_t n_hosts, Rng& rng) {
 Configuration random_configuration(const CapacityGraph& graph, const std::vector<Demand>& demands,
                                    std::size_t n_vms, Rng& rng) {
   const std::size_t n_hosts = graph.size();
-  if (n_vms > n_hosts) throw std::invalid_argument("random_configuration: more VMs than hosts");
+  VW_REQUIRE(n_vms <= n_hosts, "random_configuration: more VMs (", n_vms, ") than hosts (",
+             n_hosts, ")");
   std::vector<HostIndex> hosts(n_hosts);
   std::iota(hosts.begin(), hosts.end(), HostIndex{0});
   // Fisher-Yates prefix shuffle.
@@ -103,6 +105,10 @@ Configuration random_configuration(const CapacityGraph& graph, const std::vector
   Configuration conf;
   conf.mapping.assign(hosts.begin(), hosts.begin() + static_cast<std::ptrdiff_t>(n_vms));
   reset_paths_direct(conf, demands);
+  // Every VM placed, no host doubly used: the feasibility bedrock of VADAPT.
+  VW_ENSURE(conf.mapping.size() == n_vms, "random_configuration: VM left unplaced");
+  VW_AUDIT(valid_mapping(conf.mapping, n_hosts),
+           "random_configuration: mapping not injective/in range");
   return conf;
 }
 
@@ -114,6 +120,11 @@ AnnealingResult simulated_annealing(const CapacityGraph& graph,
 
   Configuration current =
       initial ? std::move(*initial) : random_configuration(graph, demands, n_vms, rng);
+  VW_REQUIRE(current.mapping.size() == n_vms,
+             "simulated_annealing: initial mapping places ", current.mapping.size(),
+             " VMs, expected ", n_vms);
+  VW_AUDIT(valid_mapping(current.mapping, n_hosts),
+           "simulated_annealing: initial mapping not injective/in range");
   if (current.paths.size() != demands.size()) reset_paths_direct(current, demands);
 
   Evaluation current_eval = evaluate(graph, demands, current, objective);
@@ -158,6 +169,11 @@ AnnealingResult simulated_annealing(const CapacityGraph& graph,
         result.best_evaluation = current_eval;
       }
     }
+    // Acceptance bookkeeping: the incumbent best can never fall behind the
+    // walker, and hill-climbing moves (dE >= 0) are always taken.
+    VW_ASSERT(result.best_evaluation.cost >= current_eval.cost,
+              "simulated_annealing: best fell behind current");
+    VW_ASSERT(!(dE >= 0) || accept, "simulated_annealing: improving move rejected");
 
     if (iter % params.trace_stride == 0) {
       result.trace.push_back(

@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <functional>
 #include <numeric>
-#include <stdexcept>
 
+#include "util/check.hpp"
 #include "vadapt/greedy.hpp"
 
 namespace vw::vadapt {
@@ -40,12 +40,11 @@ ExhaustiveResult exhaustive_search(const CapacityGraph& graph,
                                    const std::vector<Demand>& demands, std::size_t n_vms,
                                    const Objective& objective, std::uint64_t max_mappings) {
   const std::size_t n_hosts = graph.size();
-  if (n_vms > n_hosts) throw std::invalid_argument("exhaustive_search: more VMs than hosts");
+  VW_REQUIRE(n_vms <= n_hosts, "exhaustive_search: more VMs (", n_vms, ") than hosts (", n_hosts,
+             ")");
   const std::uint64_t space = mapping_count(n_hosts, n_vms);
-  if (space > max_mappings) {
-    throw std::invalid_argument("exhaustive_search: solution space too large (" +
-                                std::to_string(space) + " mappings)");
-  }
+  VW_REQUIRE(space <= max_mappings, "exhaustive_search: solution space too large (", space,
+             " mappings, cap ", max_mappings, ")");
 
   ExhaustiveResult result;
   bool have_best = false;

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <set>
-#include <stdexcept>
 
+#include "util/check.hpp"
 #include "vadapt/widest_path.hpp"
 
 namespace vw::vadapt {
@@ -31,7 +31,8 @@ std::vector<Id> extract_ordered(const PairList& ordered_pairs, std::size_t expec
 std::vector<HostIndex> greedy_mapping(const CapacityGraph& graph,
                                       const std::vector<Demand>& demands, std::size_t n_vms) {
   const std::size_t n_hosts = graph.size();
-  if (n_vms > n_hosts) throw std::invalid_argument("greedy_mapping: more VMs than hosts");
+  VW_REQUIRE(n_vms <= n_hosts, "greedy_mapping: more VMs (", n_vms, ") than hosts (", n_hosts,
+             ")");
 
   // (1,2) VM adjacency list ordered by decreasing traffic intensity.
   std::vector<std::tuple<VmIndex, VmIndex, double>> vm_pairs;
@@ -70,6 +71,7 @@ std::vector<HostIndex> greedy_mapping(const CapacityGraph& graph,
   // (7) zip the two orders.
   std::vector<HostIndex> mapping(n_vms);
   for (std::size_t k = 0; k < n_vms; ++k) mapping[vm_order[k]] = host_order[k];
+  VW_AUDIT(valid_mapping(mapping, n_hosts), "greedy_mapping: produced invalid mapping");
   return mapping;
 }
 

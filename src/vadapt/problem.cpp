@@ -3,7 +3,8 @@
 #include <algorithm>
 #include <limits>
 #include <set>
-#include <stdexcept>
+
+#include "util/check.hpp"
 
 namespace vw::vadapt {
 
@@ -26,11 +27,13 @@ std::optional<HostIndex> CapacityGraph::index_of(net::NodeId host) const {
 }
 
 void CapacityGraph::set_symmetric_bandwidth(HostIndex a, HostIndex b, double bps) {
+  VW_REQUIRE(a < size() && b < size(), "CapacityGraph: host index out of range");
   bw_[a][b] = bps;
   bw_[b][a] = bps;
 }
 
 void CapacityGraph::set_symmetric_latency(HostIndex a, HostIndex b, double s) {
+  VW_REQUIRE(a < size() && b < size(), "CapacityGraph: host index out of range");
   lat_[a][b] = s;
   lat_[b][a] = s;
 }
@@ -61,9 +64,11 @@ bool valid_path(const Path& path, const Configuration& conf, const Demand& deman
 std::vector<std::vector<double>> residual_capacities(const CapacityGraph& graph,
                                                      const std::vector<Demand>& demands,
                                                      const Configuration& conf) {
-  if (conf.paths.size() != demands.size()) {
-    throw std::invalid_argument("residual_capacities: path/demand count mismatch");
-  }
+  VW_REQUIRE(conf.paths.size() == demands.size(),
+             "residual_capacities: path/demand count mismatch (", conf.paths.size(), " vs ",
+             demands.size(), ")");
+  VW_AUDIT(valid_mapping(conf.mapping, graph.size()),
+           "residual_capacities: mapping not injective/in range");
   auto residual = graph.bandwidth_matrix();
   for (std::size_t d = 0; d < demands.size(); ++d) {
     const Path& p = conf.paths[d];
@@ -76,6 +81,13 @@ std::vector<std::vector<double>> residual_capacities(const CapacityGraph& graph,
 
 Evaluation evaluate(const CapacityGraph& graph, const std::vector<Demand>& demands,
                     const Configuration& conf, const Objective& objective) {
+  VW_AUDIT([&] {
+    for (std::size_t d = 0; d < demands.size(); ++d) {
+      if (!valid_path(conf.paths[d], conf, demands[d], graph.size())) return false;
+    }
+    return true;
+  }(),
+           "evaluate: configuration carries an invalid forwarding path");
   const auto residual = residual_capacities(graph, demands, conf);
 
   Evaluation ev;

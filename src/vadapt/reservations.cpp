@@ -1,7 +1,8 @@
 #include "vadapt/reservations.hpp"
 
 #include <algorithm>
-#include <stdexcept>
+
+#include "util/check.hpp"
 
 namespace vw::vadapt {
 
@@ -20,10 +21,10 @@ double ReservationPlan::total_rate() const {
 
 ReservationPlan plan_reservations(const std::vector<Demand>& demands,
                                   const Configuration& conf, double headroom) {
-  if (conf.paths.size() != demands.size()) {
-    throw std::invalid_argument("plan_reservations: path/demand count mismatch");
-  }
-  if (headroom < 0) throw std::invalid_argument("plan_reservations: negative headroom");
+  VW_REQUIRE(conf.paths.size() == demands.size(),
+             "plan_reservations: path/demand count mismatch (", conf.paths.size(), " vs ",
+             demands.size(), ")");
+  VW_REQUIRE(headroom >= 0, "plan_reservations: negative headroom ", headroom);
 
   std::map<std::pair<HostIndex, HostIndex>, double> per_edge;
   for (std::size_t d = 0; d < demands.size(); ++d) {

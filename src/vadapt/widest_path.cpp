@@ -5,9 +5,12 @@
 #include <limits>
 #include <queue>
 
+#include "util/check.hpp"
+
 namespace vw::vadapt {
 
 std::optional<Path> WidestPathTree::path_to(HostIndex dst) const {
+  VW_REQUIRE(dst < parent.size(), "WidestPathTree::path_to: vertex ", dst, " out of range");
   if (dst == source) return Path{source};
   if (!parent[dst]) return std::nullopt;
   Path path;
@@ -23,6 +26,10 @@ std::optional<Path> WidestPathTree::path_to(HostIndex dst) const {
 
 WidestPathTree widest_paths(const std::vector<std::vector<double>>& capacity, HostIndex source) {
   const std::size_t n = capacity.size();
+  VW_REQUIRE(source < n, "widest_paths: source ", source, " out of range (n=", n, ")");
+  VW_AUDIT(std::all_of(capacity.begin(), capacity.end(),
+                       [n](const std::vector<double>& row) { return row.size() == n; }),
+           "widest_paths: capacity matrix not square");
   WidestPathTree tree;
   tree.source = source;
   tree.width.assign(n, -std::numeric_limits<double>::infinity());
@@ -62,9 +69,14 @@ std::optional<Path> widest_path_between(const std::vector<std::vector<double>>& 
 double widest_path_width(const std::vector<std::vector<double>>& capacity, HostIndex src,
                          HostIndex dst) {
   const WidestPathTree tree = widest_paths(capacity, src);
+  VW_REQUIRE(dst < tree.width.size(), "widest_path_width: dst ", dst, " out of range");
   if (src != dst && !tree.parent[dst]) return 0;
   const double w = tree.width[dst];
-  return std::isfinite(w) ? w : 0;
+  const double result = std::isfinite(w) ? w : 0;
+  // Widths seed VADAPT's residual-capacity reasoning; a negative width means
+  // the relaxation visited an edge with negative "capacity".
+  VW_ENSURE(result >= 0, "widest_path_width: negative width ", result);
+  return result;
 }
 
 }  // namespace vw::vadapt

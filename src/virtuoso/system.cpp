@@ -3,6 +3,8 @@
 #include <charconv>
 #include <stdexcept>
 
+#include "util/check.hpp"
+
 namespace vw::virtuoso {
 
 namespace {
@@ -86,7 +88,7 @@ vnet::VnetDaemon& VirtuosoSystem::add_daemon(net::NodeId host, std::string name,
 }
 
 void VirtuosoSystem::bootstrap(vnet::LinkProtocol proto) {
-  if (bootstrapped_) throw std::logic_error("VirtuosoSystem: already bootstrapped");
+  VW_REQUIRE(!bootstrapped_, "VirtuosoSystem: already bootstrapped");
   overlay_.bootstrap_star(proto);
 
   // Control plane: daemons ship reports to the Proxy over real TCP
@@ -286,9 +288,9 @@ std::size_t VirtuosoSystem::install_reservations(const AdaptationOutcome& outcom
 std::size_t VirtuosoSystem::apply_configuration(const vadapt::CapacityGraph& graph,
                                                 const std::vector<vadapt::Demand>& demands,
                                                 const vadapt::Configuration& conf) {
-  if (conf.mapping.size() != vms_.size()) {
-    throw std::invalid_argument("apply_configuration: mapping size != VM count");
-  }
+  VW_REQUIRE(conf.mapping.size() == vms_.size(),
+             "apply_configuration: mapping places ", conf.mapping.size(), " VMs, system has ",
+             vms_.size());
 
   // Compute the migration set ("compute the differences between the current
   // mapping and the new mapping and issue migration instructions").

@@ -1,6 +1,6 @@
 #include "vm/machine.hpp"
 
-#include <stdexcept>
+#include "util/check.hpp"
 
 namespace vw::vm {
 
@@ -14,7 +14,7 @@ VirtualMachine::~VirtualMachine() {
 }
 
 void VirtualMachine::attach(net::NodeId host) {
-  if (attached()) throw std::logic_error("VM already attached");
+  VW_REQUIRE(!attached(), "VM '", name_, "' already attached");
   vnet::VnetDaemon& daemon = overlay_.daemon_on(host);
   daemon.attach_vm(mac_, [this](vnet::FramePtr f) { handle_frame(std::move(f)); });
   overlay_.register_vm(mac_, daemon);
@@ -29,7 +29,7 @@ void VirtualMachine::detach() {
 }
 
 net::NodeId VirtualMachine::host() const {
-  if (!attached()) throw std::logic_error("VM not attached");
+  VW_REQUIRE(attached(), "VM '", name_, "' not attached");
   return current_daemon_->host();
 }
 

@@ -4,13 +4,14 @@
 #include <limits>
 #include <stdexcept>
 
+#include "util/check.hpp"
+
 namespace vw::vm {
 
 VSched::VSched(sim::Simulator& sim, double utilization_limit)
     : sim_(sim), utilization_limit_(utilization_limit), last_account_(sim.now()) {
-  if (utilization_limit <= 0 || utilization_limit > 1.0) {
-    throw std::invalid_argument("VSched: utilization limit must be in (0, 1]");
-  }
+  VW_REQUIRE(utilization_limit > 0 && utilization_limit <= 1.0,
+             "VSched: utilization limit must be in (0, 1], got ", utilization_limit);
 }
 
 VSched::~VSched() {

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/check.hpp"
+
 namespace vw::vnet {
 
 Overlay::Overlay(transport::TransportStack& stack) : stack_(stack) {}
@@ -9,13 +11,13 @@ Overlay::Overlay(transport::TransportStack& stack) : stack_(stack) {}
 Overlay::~Overlay() = default;
 
 VnetDaemon& Overlay::create_daemon(net::NodeId host, std::string name, bool is_proxy) {
-  if (by_host_.contains(host)) throw std::invalid_argument("daemon already on host");
+  VW_REQUIRE(!by_host_.contains(host), "Overlay: daemon already on host ", host);
+  VW_REQUIRE(!is_proxy || proxy_ == nullptr, "Overlay: proxy already exists");
   auto daemon = std::make_unique<VnetDaemon>(stack_, host, std::move(name), is_proxy);
   VnetDaemon* raw = daemon.get();
   daemons_.push_back(std::move(daemon));
   by_host_[host] = raw;
   if (is_proxy) {
-    if (proxy_ != nullptr) throw std::invalid_argument("proxy already exists");
     proxy_ = raw;
     proxy_->set_mac_resolver([this](MacAddress mac) { return daemon_for_mac(mac); });
   }
@@ -23,13 +25,13 @@ VnetDaemon& Overlay::create_daemon(net::NodeId host, std::string name, bool is_p
 }
 
 VnetDaemon& Overlay::proxy() {
-  if (proxy_ == nullptr) throw std::logic_error("no proxy daemon");
+  VW_REQUIRE(proxy_ != nullptr, "Overlay: no proxy daemon");
   return *proxy_;
 }
 
 VnetDaemon& Overlay::daemon_on(net::NodeId host) {
   auto it = by_host_.find(host);
-  if (it == by_host_.end()) throw std::out_of_range("no daemon on host");
+  VW_REQUIRE(it != by_host_.end(), "Overlay: no daemon on host ", host);
   return *it->second;
 }
 
@@ -83,15 +85,18 @@ Overlay::LinkRecord Overlay::make_link(VnetDaemon& a, VnetDaemon& b, LinkProtoco
 }
 
 void Overlay::bootstrap_star(LinkProtocol proto) {
-  if (star_built_) throw std::logic_error("star already built");
+  VW_REQUIRE(!star_built_, "Overlay: star already built");
   VnetDaemon& hub = proxy();
   for (auto& d : daemons_) {
     if (d.get() == &hub) continue;
     LinkRecord rec = make_link(*d, hub, proto);
+    VW_ASSERT(rec.a_side != kInvalidLink, "Overlay: star link has no spoke side");
     d->set_default_link(rec.a_side);
     star_links_.push_back(rec);
   }
   star_built_ = true;
+  VW_ENSURE(star_links_.size() + 1 == daemons_.size(),
+            "Overlay: star must connect every non-proxy daemon to the hub");
 }
 
 void Overlay::register_vm(MacAddress mac, VnetDaemon& daemon) { mac_registry_[mac] = &daemon; }
@@ -109,7 +114,9 @@ std::pair<LinkId, LinkId> Overlay::ensure_link(VnetDaemon& a, VnetDaemon& b, Lin
     auto b_side = b.link_to_host(a.host());
     return {*a_side, b_side.value_or(kInvalidLink)};
   }
+  VW_REQUIRE(&a != &b, "Overlay::ensure_link: self link");
   LinkRecord rec = make_link(a, b, proto);
+  VW_ENSURE(rec.a_side != kInvalidLink, "Overlay::ensure_link: link creation failed");
   dynamic_links_.push_back(rec);
   return {rec.a_side, rec.b_side};
 }
@@ -117,6 +124,16 @@ std::pair<LinkId, LinkId> Overlay::ensure_link(VnetDaemon& a, VnetDaemon& b, Lin
 void Overlay::install_path(const std::vector<net::NodeId>& path, MacAddress dst_mac,
                            LinkProtocol proto) {
   if (path.size() < 2) return;
+  // A forwarding loop would bounce frames between daemons forever.
+  VW_AUDIT([&path] {
+    for (std::size_t i = 0; i < path.size(); ++i) {
+      for (std::size_t j = i + 1; j < path.size(); ++j) {
+        if (path[i] == path[j]) return false;
+      }
+    }
+    return true;
+  }(),
+           "Overlay::install_path: repeated host in path (forwarding loop)");
   for (std::size_t i = 0; i + 1 < path.size(); ++i) {
     VnetDaemon& from = daemon_on(path[i]);
     VnetDaemon& to = daemon_on(path[i + 1]);

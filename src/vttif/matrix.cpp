@@ -3,9 +3,15 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/check.hpp"
+
 namespace vw::vttif {
 
 void TrafficMatrix::add(vnet::MacAddress src, vnet::MacAddress dst, double value) {
+  // Traffic is a nonnegative quantity; a negative or NaN contribution would
+  // silently skew every topology inferred from this matrix.
+  VW_REQUIRE(value >= 0 && std::isfinite(value),
+             "TrafficMatrix::add: bad traffic value ", value);
   if (value == 0) return;
   entries_[{src, dst}] += value;
 }
@@ -20,6 +26,8 @@ void TrafficMatrix::merge(const TrafficMatrix& other) {
 }
 
 void TrafficMatrix::scale(double factor) {
+  VW_REQUIRE(factor >= 0 && std::isfinite(factor),
+             "TrafficMatrix::scale: bad factor ", factor);
   for (auto& [key, value] : entries_) value *= factor;
 }
 
@@ -55,6 +63,8 @@ double Topology::max_relative_change(const Topology& other) const {
 }
 
 Topology infer_topology(const TrafficMatrix& rates, double prune_fraction) {
+  VW_REQUIRE(prune_fraction >= 0 && prune_fraction <= 1,
+             "infer_topology: prune_fraction outside [0,1]: ", prune_fraction);
   Topology topo;
   const double max = rates.max_entry();
   if (max <= 0) return topo;
@@ -63,7 +73,13 @@ Topology infer_topology(const TrafficMatrix& rates, double prune_fraction) {
     if (value < cutoff) continue;
     topo.edges.push_back(TopologyEdge{key.first, key.second, value, value / max});
   }
-  // std::map iteration is already (src, dst)-sorted.
+  // std::map iteration is already (src, dst)-sorted; same_shape and
+  // max_relative_change both lean on that order.
+  VW_AUDIT(std::is_sorted(topo.edges.begin(), topo.edges.end(),
+                          [](const TopologyEdge& a, const TopologyEdge& b) {
+                            return std::pair{a.src, a.dst} < std::pair{b.src, b.dst};
+                          }),
+           "infer_topology: edge list not (src, dst)-sorted");
   return topo;
 }
 

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "util/check.hpp"
+
 namespace vw::wren {
 
 SicEstimator::SicEstimator(SicParams params)
@@ -14,10 +16,16 @@ void SicEstimator::add_ack(SimTime time, std::uint64_t ack) {
   // that suffered loss is not a clean SIC sample anyway (its RTT series is
   // polluted by retransmissions), so we match against first-coverage times.
   if (!acks_.empty() && ack <= acks_.back().ack) return;
+  VW_REQUIRE(acks_.empty() || time >= acks_.back().time,
+             "SicEstimator::add_ack: ACK timestamps regressed");
   acks_.push_back(AckRecord{time, ack});
 }
 
-void SicEstimator::add_train(const Train& train) { pending_.push_back(train); }
+void SicEstimator::add_train(const Train& train) {
+  VW_REQUIRE(!train.packets.empty(), "SicEstimator::add_train: empty train");
+  VW_REQUIRE(train.isr_bps > 0, "SicEstimator::add_train: non-positive ISR ", train.isr_bps);
+  pending_.push_back(train);
+}
 
 std::optional<SicEstimator::AckRecord> SicEstimator::first_ack_covering(
     std::uint64_t seq_end) const {
@@ -29,6 +37,13 @@ std::optional<SicEstimator::AckRecord> SicEstimator::first_ack_covering(
 }
 
 void SicEstimator::process(SimTime now) {
+  // first_ack_covering binary-searches acks_, which add_ack keeps strictly
+  // increasing in .ack and non-decreasing in .time; scan-verify on audit.
+  VW_AUDIT(std::adjacent_find(acks_.begin(), acks_.end(),
+                              [](const AckRecord& a, const AckRecord& b) {
+                                return b.ack <= a.ack || b.time < a.time;
+                              }) == acks_.end(),
+           "SicEstimator: ACK record ordering invariant broken");
   while (!pending_.empty()) {
     const Train& train = pending_.front();
     const std::uint64_t last_seq = train.packets.back().seq_end;
@@ -53,6 +68,7 @@ void SicEstimator::process(SimTime now) {
 }
 
 void SicEstimator::evaluate(const Train& train) {
+  VW_ASSERT(!train.packets.empty(), "SicEstimator::evaluate: empty train");
   std::vector<double> rtts;
   std::vector<SimTime> ack_times;
   rtts.reserve(train.packets.size());
@@ -109,6 +125,8 @@ void SicEstimator::evaluate(const Train& train) {
       }
     }
   }
+  VW_ASSERT(n_used >= 1 && n_used <= rtts.size(),
+            "SicEstimator: delayed-ACK trim out of range (n_used=", n_used, ")");
   if (n_used < rtts.size()) {
     rtts.resize(n_used);
     // Recompute the span endpoint to the last retained packet's ACK.
@@ -150,6 +168,8 @@ void SicEstimator::prune_window(SimTime now) {
   while (!window_.empty() && now - window_.front().time > params_.window_age) {
     window_.pop_front();
   }
+  VW_ENSURE(window_.size() <= params_.window_observations,
+            "SicEstimator: observation window overflow");
 }
 
 std::optional<double> SicEstimator::raw_estimate_bps() const {

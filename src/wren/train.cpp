@@ -1,16 +1,17 @@
 #include "wren/train.hpp"
 
 #include <algorithm>
-#include <stdexcept>
+
+#include "util/check.hpp"
 
 namespace vw::wren {
 
 TrainExtractor::TrainExtractor(net::FlowKey flow, TrainParams params, TrainFn on_train)
     : flow_(flow), params_(params), on_train_(std::move(on_train)) {
-  if (params_.min_length < 3) throw std::invalid_argument("TrainExtractor: min_length < 3");
-  if (params_.spacing_tolerance < 1.0) {
-    throw std::invalid_argument("TrainExtractor: spacing_tolerance < 1");
-  }
+  VW_REQUIRE(params_.min_length >= 3, "TrainExtractor: min_length < 3, got ", params_.min_length);
+  VW_REQUIRE(params_.spacing_tolerance >= 1.0, "TrainExtractor: spacing_tolerance < 1, got ",
+             params_.spacing_tolerance);
+  VW_REQUIRE(params_.max_gap > 0, "TrainExtractor: max_gap must be positive");
 }
 
 double TrainExtractor::compute_isr(const std::vector<TrainPacket>& pkts) {
@@ -27,7 +28,7 @@ double TrainExtractor::compute_isr(const std::vector<TrainPacket>& pkts) {
 void TrainExtractor::add(const PacketRecord& record) {
   if (record.is_ack && record.payload_bytes == 0) return;  // pure ACKs carry no data
   if (record.payload_bytes == 0) return;                   // SYN/FIN
-  if (!(record.flow == flow_)) throw std::invalid_argument("TrainExtractor: flow mismatch");
+  VW_REQUIRE(record.flow == flow_, "TrainExtractor: flow mismatch");
 
   const TrainPacket pkt{record.timestamp, record.seq + record.payload_bytes, record.wire_bytes};
 
@@ -38,6 +39,10 @@ void TrainExtractor::add(const PacketRecord& record) {
     return;
   }
 
+  // Records must arrive in departure order or every gap below is garbage.
+  VW_REQUIRE(pkt.sent_at >= current_.back().sent_at,
+             "TrainExtractor: record timestamps regressed (", pkt.sent_at, " < ",
+             current_.back().sent_at, ")");
   const SimTime gap = pkt.sent_at - current_.back().sent_at;
   if (gap > params_.max_gap) {
     // Long silence: the run ends here.
@@ -90,6 +95,13 @@ void TrainExtractor::emit_if_valid() {
   train.end_time = current_.back().sent_at;
   train.isr_bps = compute_isr(current_);
   if (train.isr_bps <= 0) return;
+  // What downstream SIC analysis assumes about every emitted train.
+  VW_ENSURE(train.end_time > train.start_time, "TrainExtractor: emitted train spans no time");
+  VW_AUDIT(std::is_sorted(train.packets.begin(), train.packets.end(),
+                          [](const TrainPacket& a, const TrainPacket& b) {
+                            return a.sent_at < b.sent_at;
+                          }),
+           "TrainExtractor: emitted train not in departure order");
   ++trains_;
   if (on_train_) on_train_(train);
 }

@@ -1,0 +1,198 @@
+#include "util/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "util/time.hpp"
+#include "wren/train.hpp"
+
+namespace vw::contracts {
+namespace {
+
+// Handler state has to be global because FailureHandler is a plain function
+// pointer (no capture). Each test resets it via the Recorder fixture.
+std::vector<ContractViolation> g_recorded;
+
+void recording_handler(const ContractViolation& violation) {
+  g_recorded.push_back(violation);
+}
+
+class Recorder {
+ public:
+  Recorder() : scoped_(&recording_handler) { g_recorded.clear(); }
+  const std::vector<ContractViolation>& violations() const { return g_recorded; }
+
+ private:
+  ScopedContractHandler scoped_;
+};
+
+TEST(CheckTest, PassingContractsAreSilent) {
+  Recorder rec;
+  VW_REQUIRE(1 + 1 == 2);
+  VW_ENSURE(true, "never formatted");
+  VW_ASSERT(42 > 0, "nor this: ", 42);
+  VW_AUDIT(true);
+  EXPECT_TRUE(rec.violations().empty());
+}
+
+TEST(CheckTest, DefaultHandlerThrowsContractError) {
+  try {
+    VW_REQUIRE(false, "widget ", 7, " broke");
+    FAIL() << "expected ContractError";
+  } catch (const ContractError& e) {
+    EXPECT_EQ(e.kind(), Kind::kRequire);
+    EXPECT_EQ(e.line(), __LINE__ - 4);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("VW_REQUIRE"), std::string::npos) << what;
+    EXPECT_NE(what.find("false"), std::string::npos) << what;
+    EXPECT_NE(what.find("widget 7 broke"), std::string::npos) << what;
+    EXPECT_NE(what.find("check_test.cpp"), std::string::npos) << what;
+  }
+}
+
+TEST(CheckTest, ContractErrorIsCatchableAsStdLogicError) {
+  // Subsystems converted from ad-hoc std::invalid_argument throws; existing
+  // callers catching logic_error/invalid_argument must keep working.
+  EXPECT_THROW(VW_REQUIRE(false), std::invalid_argument);
+  EXPECT_THROW(VW_ENSURE(false), std::logic_error);
+}
+
+TEST(CheckTest, CustomHandlerReceivesViolationDetails) {
+  Recorder rec;
+  const int got = 3;
+  VW_ENSURE(got == 4, "got=", got);
+  ASSERT_EQ(rec.violations().size(), 1u);
+  const ContractViolation& v = rec.violations().front();
+  EXPECT_EQ(v.kind, Kind::kEnsure);
+  EXPECT_EQ(v.condition, "got == 4");
+  EXPECT_EQ(v.message, "got=3");
+  EXPECT_NE(v.file.find("check_test.cpp"), std::string_view::npos);
+  EXPECT_GT(v.line, 0);
+}
+
+TEST(CheckTest, ReturningHandlerSuppressesViolation) {
+  Recorder rec;
+  int after = 0;
+  VW_ASSERT(false, "tolerated");
+  after = 1;  // execution continues when the handler returns
+  EXPECT_EQ(after, 1);
+  ASSERT_EQ(rec.violations().size(), 1u);
+  EXPECT_EQ(rec.violations().front().kind, Kind::kAssert);
+}
+
+TEST(CheckTest, ScopedHandlerRestoresPrevious) {
+  FailureHandler before = failure_handler();
+  {
+    ScopedContractHandler scoped(&recording_handler);
+    EXPECT_EQ(failure_handler(), &recording_handler);
+  }
+  EXPECT_EQ(failure_handler(), before);
+}
+
+TEST(CheckTest, MessageArgumentsOnlyEvaluatedOnFailure) {
+  int calls = 0;
+  auto expensive = [&calls] {
+    ++calls;
+    return std::string("costly");
+  };
+  VW_REQUIRE(true, expensive());
+  EXPECT_EQ(calls, 0);
+  Recorder rec;
+  VW_REQUIRE(false, expensive());
+  EXPECT_EQ(calls, 1);
+  ASSERT_EQ(rec.violations().size(), 1u);
+  EXPECT_EQ(rec.violations().front().message, "costly");
+}
+
+#if VW_ENABLE_AUDIT
+TEST(CheckTest, AuditTierObeysRuntimeGate) {
+  Recorder rec;
+  int evaluated = 0;
+  auto probe = [&evaluated] {
+    ++evaluated;
+    return false;
+  };
+
+  set_audit_enabled(false);
+  VW_AUDIT(probe(), "skipped entirely");
+  EXPECT_EQ(evaluated, 0);
+  EXPECT_TRUE(rec.violations().empty());
+
+  set_audit_enabled(true);
+  VW_AUDIT(probe(), "now it fires");
+  EXPECT_EQ(evaluated, 1);
+  ASSERT_EQ(rec.violations().size(), 1u);
+  EXPECT_EQ(rec.violations().front().kind, Kind::kAudit);
+}
+#endif
+
+TEST(CheckTest, KindNamesMatchMacros) {
+  EXPECT_EQ(kind_name(Kind::kRequire), "VW_REQUIRE");
+  EXPECT_EQ(kind_name(Kind::kEnsure), "VW_ENSURE");
+  EXPECT_EQ(kind_name(Kind::kAssert), "VW_ASSERT");
+  EXPECT_EQ(kind_name(Kind::kAudit), "VW_AUDIT");
+  EXPECT_EQ(kind_name(Kind::kUnreachable), "VW_UNREACHABLE");
+}
+
+TEST(CheckDeathTest, UnreachableAbortsEvenWithTolerantHandler) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        ScopedContractHandler scoped(&recording_handler);
+        VW_UNREACHABLE("fell off the state machine");
+      },
+      "");
+}
+
+// --- deliberately violated subsystem invariants -----------------------------
+
+TEST(CheckIntegrationTest, SimulatorRejectsSchedulingInThePast) {
+  sim::Simulator sim;
+  sim.schedule_at(millis(10), [] {});
+  sim.run();
+  EXPECT_EQ(sim.now(), millis(10));
+  try {
+    sim.schedule_at(millis(5), [] {});
+    FAIL() << "expected ContractError";
+  } catch (const ContractError& e) {
+    EXPECT_EQ(e.kind(), Kind::kRequire);
+  }
+}
+
+TEST(CheckIntegrationTest, SimulatorRejectsNullCallback) {
+  sim::Simulator sim;
+  EXPECT_THROW(sim.schedule_at(millis(1), sim::Simulator::Callback{}), ContractError);
+}
+
+TEST(CheckIntegrationTest, TrainExtractorRejectsForeignFlow) {
+  const net::FlowKey flow{0, 1, 1000, 80, net::Protocol::kTcp};
+  wren::TrainExtractor extractor(flow, wren::TrainParams{}, [](const wren::Train&) {});
+
+  wren::PacketRecord record;
+  record.flow = flow;
+  record.flow.dst_port = 81;  // not the flow this extractor was built for
+  record.timestamp = millis(1);
+  record.payload_bytes = 1000;
+  record.wire_bytes = 1040;
+  EXPECT_THROW(extractor.add(record), ContractError);
+}
+
+TEST(CheckIntegrationTest, TrainExtractorRejectsTimeTravel) {
+  const net::FlowKey flow{0, 1, 1000, 80, net::Protocol::kTcp};
+  wren::TrainExtractor extractor(flow, wren::TrainParams{}, [](const wren::Train&) {});
+
+  wren::PacketRecord record;
+  record.flow = flow;
+  record.payload_bytes = 1000;
+  record.wire_bytes = 1040;
+  record.timestamp = millis(2);
+  extractor.add(record);
+  record.timestamp = millis(1);  // regresses: trace records arrive in order
+  EXPECT_THROW(extractor.add(record), ContractError);
+}
+
+}  // namespace
+}  // namespace vw::contracts

@@ -48,7 +48,9 @@ struct Env {
     stack->tcp_connect(a, b, 80).send(bytes);
     sim.run_until(seconds(30.0));
     EXPECT_NE(server, nullptr);
-    if (server) EXPECT_EQ(server->bytes_received(), bytes);
+    if (server != nullptr) {
+      EXPECT_EQ(server->bytes_received(), bytes);
+    }
     return acks;
   }
 };

@@ -132,8 +132,16 @@ TEST(RpcTest, HandlerExceptionBecomesFault) {
 
 TEST(RpcTest, UnregisterEndpointRemovesAllMethods) {
   RpcRegistry reg;
-  reg.register_method("svc://x", "A", [](const XmlNode&) { return XmlNode{.name = "R"}; });
-  reg.register_method("svc://x", "B", [](const XmlNode&) { return XmlNode{.name = "R"}; });
+  reg.register_method("svc://x", "A", [](const XmlNode&) {
+    XmlNode r;
+    r.name = "R";
+    return r;
+  });
+  reg.register_method("svc://x", "B", [](const XmlNode&) {
+    XmlNode r;
+    r.name = "R";
+    return r;
+  });
   EXPECT_TRUE(reg.has_endpoint("svc://x"));
   reg.unregister_endpoint("svc://x");
   EXPECT_FALSE(reg.has_endpoint("svc://x"));
@@ -146,7 +154,9 @@ TEST(RpcTest, RequestSurvivesXmlRoundTrip) {
   std::string received;
   reg.register_method("svc://x", "Take", [&](const XmlNode& req) {
     received = req.child_text("v");
-    return XmlNode{.name = "Ok"};
+    XmlNode ok;
+    ok.name = "Ok";
+    return ok;
   });
   XmlNode req;
   req.name = "Take";

@@ -250,10 +250,10 @@ TEST(SicEstimatorTest, MinRttTracked) {
 
 TEST(SicEstimatorTest, DuplicateAcksIgnored) {
   SicEstimator est;
-  est.add_ack(millis(1), 1000);
-  est.add_ack(millis(2), 1000);  // duplicate: must not corrupt the series
-  est.add_ack(millis(3), 500);   // regression: ignored
-  est.add_ack(millis(4), 2000);
+  est.add_ack(micros(100), 1000);
+  est.add_ack(micros(200), 1000);  // duplicate: must not corrupt the series
+  est.add_ack(micros(300), 500);   // regression: ignored
+  est.add_ack(micros(400), 2000);
   const Train t = make_train(20e6, 5);
   est.add_train(t);
   feed_acks(est, t, millis(1), 0);

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Header-hygiene and banned-pattern checker for the Virtuoso/Wren tree.
+
+Checks (all cheap text scans; no compiler needed):
+  * every header under src/ starts with `#pragma once`
+  * no `using namespace` at namespace scope in headers
+  * no raw `assert(` in src/ (contracts go through util/check.hpp macros)
+  * no `std::cout` / `printf(` in src/ (library code logs via util/log.hpp)
+  * no tab characters or trailing whitespace in tracked C++ sources
+  * include order: the matching first-party header comes first in its .cpp
+
+Exit status 0 when clean, 1 when any finding is reported.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+TESTS = REPO / "tests"
+
+HEADER_EXTS = {".hpp", ".h"}
+SOURCE_EXTS = {".cpp", ".cc", ".cxx"}
+
+# assert( preceded by start-of-line or non-identifier char, not static_assert.
+RAW_ASSERT = re.compile(r"(?<![\w_])assert\s*\(")
+USING_NAMESPACE = re.compile(r"^\s*using\s+namespace\s", re.MULTILINE)
+BANNED_IO = re.compile(r"(?<![\w_])(std::cout|std::cerr|printf\s*\()")
+
+
+def strip_comments(text: str) -> str:
+    """Remove // and /* */ comments and string literals so patterns only
+    match real code."""
+    out: list[str] = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if ch == "/" and nxt == "/":
+            j = text.find("\n", i)
+            i = n if j == -1 else j
+        elif ch == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            # Keep newlines so line numbers survive.
+            chunk = text[i : n if j == -1 else j + 2]
+            out.append("\n" * chunk.count("\n"))
+            i = n if j == -1 else j + 2
+        elif ch == '"':
+            j = i + 1
+            while j < n and text[j] != '"':
+                j += 2 if text[j] == "\\" else 1
+            out.append('""')
+            i = min(j + 1, n)
+        elif ch == "'":
+            j = i + 1
+            while j < n and text[j] != "'":
+                j += 2 if text[j] == "\\" else 1
+            out.append("''")
+            i = min(j + 1, n)
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def line_of(text: str, offset: int) -> int:
+    return text.count("\n", 0, offset) + 1
+
+
+def main() -> int:
+    findings: list[str] = []
+
+    def report(path: Path, line: int, msg: str) -> None:
+        findings.append(f"{path.relative_to(REPO)}:{line}: {msg}")
+
+    cpp_files = sorted(
+        p
+        for root in (SRC, TESTS)
+        for p in root.rglob("*")
+        if p.suffix in HEADER_EXTS | SOURCE_EXTS
+    )
+
+    for path in cpp_files:
+        raw = path.read_text(encoding="utf-8")
+        code = strip_comments(raw)
+        in_src = SRC in path.parents
+
+        if "\t" in raw:
+            report(path, line_of(raw, raw.index("\t")), "tab character")
+        for i, line in enumerate(raw.splitlines(), start=1):
+            if line != line.rstrip():
+                report(path, i, "trailing whitespace")
+
+        if path.suffix in HEADER_EXTS:
+            first_directive = next(
+                (l.strip() for l in raw.splitlines() if l.strip() and not l.strip().startswith("//")),
+                "",
+            )
+            if first_directive != "#pragma once":
+                report(path, 1, "header does not start with #pragma once")
+            m = USING_NAMESPACE.search(code)
+            if m:
+                report(path, line_of(code, m.start()), "`using namespace` in header")
+
+        if in_src:
+            m = RAW_ASSERT.search(code)
+            if m:
+                report(path, line_of(code, m.start()),
+                       "raw assert(); use VW_REQUIRE/VW_ASSERT from util/check.hpp")
+            m = BANNED_IO.search(code)
+            if m:
+                report(path, line_of(code, m.start()),
+                       f"banned IO `{m.group(1)}` in library code; use util/log.hpp")
+
+        if in_src and path.suffix in SOURCE_EXTS:
+            # First include of a .cpp should be its own header (self-containment check).
+            own = path.with_suffix(".hpp")
+            if own.exists():
+                includes = re.findall(r'#include\s+"([^"]+)"', code)
+                expect = str(own.relative_to(SRC))
+                if includes and includes[0] != expect:
+                    report(path, 1, f'first #include should be "{expect}"')
+
+    if findings:
+        print(f"lint.py: {len(findings)} finding(s)")
+        for f in findings:
+            print(f"  {f}")
+        return 1
+    print(f"lint.py: OK ({len(cpp_files)} files clean)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
