@@ -18,6 +18,7 @@
 #include "util/rng.hpp"
 #include "vadapt/annealing.hpp"
 #include "vadapt/greedy.hpp"
+#include "vadapt/multistart.hpp"
 
 using namespace vw;
 using namespace vw::vadapt;
@@ -62,6 +63,27 @@ void sweep(const Scenario& sc, CsvWriter& csv) {
     AnnealingParams params = base;
     params.cooling = cool;
     run("cooling=" + std::to_string(cool), params, false);
+  }
+
+  // Multi-start: K chains share the 20k-iteration budget (so the total move
+  // count matches the single-chain rows) vs. K full-budget chains.
+  for (std::size_t chains : {std::size_t{4}, std::size_t{8}}) {
+    for (bool split_budget : {true, false}) {
+      MultiStartParams ms;
+      ms.chains = chains;
+      ms.annealing = base;
+      if (split_budget) ms.annealing.iterations = base.iterations / chains;
+      ms.annealing.trace_stride = ms.annealing.iterations;
+      ms.seed = rngs.seed_for(sc.name + ".multistart." + std::to_string(chains) +
+                              (split_budget ? ".split" : ".full"));
+      const MultiStartResult result = multi_start_annealing(
+          sc.graph, sc.demands, sc.n_vms, objective, ms, gh.configuration);
+      csv.text_row({sc.name,
+                    "multistart(K=" + std::to_string(chains) +
+                        (split_budget ? ",split)" : ",full)") + "+GH",
+                    std::to_string(result.best.best_evaluation.cost / 1e6),
+                    std::to_string(result.best.best_evaluation.cost / gh.evaluation.cost)});
+    }
   }
 }
 

@@ -7,7 +7,7 @@
 //   2. infers the application topology with VTTIF,
 //   3. measures the physical paths with Wren (fed here from ground truth
 //      for the UDP overlay; see fig4 for the Wren-over-TCP pipeline),
-//   4. runs VADAPT (greedy heuristic + simulated annealing),
+//   4. runs VADAPT (greedy heuristic + multi-start simulated annealing),
 //   5. migrates the VMs and re-routes the overlay,
 // and the application's delivered throughput improves.
 //
@@ -27,6 +27,7 @@ int main() {
 
   virtuoso::SystemConfig config;
   config.annealing.iterations = 3000;
+  config.multistart.chains = 4;  // chain 0 seeded with GH, 3 random restarts
   virtuoso::VirtuosoSystem system(sim, *tb.network, config);
 
   bool first = true;
@@ -78,10 +79,10 @@ int main() {
     }
   }
 
-  // Phase 2: adapt (SA seeded with the greedy heuristic) and let the
-  // migrations play out.
+  // Phase 2: adapt (multi-start SA, chain 0 seeded with the greedy
+  // heuristic) and let the migrations play out.
   const virtuoso::AdaptationOutcome outcome =
-      system.adapt_now(virtuoso::AdaptationAlgorithm::kAnnealingGreedy);
+      system.adapt_now(virtuoso::AdaptationAlgorithm::kMultiStartAnnealing);
   std::cout << "adaptation: CEF=" << outcome.evaluation.cost / 1e6 << " Mb/s, "
             << outcome.migrations << " migrations issued\n";
   sim.run_until(seconds(45.0));  // migrations complete; traffic resumes

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+// A small fixed-size worker pool for CPU-bound fan-out (multi-start
+// annealing chains, parallel sweeps). Tasks are opaque closures; the pool
+// provides no result plumbing — callers write into pre-sized slots so the
+// outcome is independent of scheduling order. Tasks must not throw (capture
+// exceptions into the result slot instead; an escaping exception terminates
+// the process, as with any detached std::thread).
+
+namespace vw {
+
+class ThreadPool {
+ public:
+  /// Spin up `threads` workers; 0 means one per hardware thread.
+  explicit ThreadPool(std::size_t threads) {
+    if (threads == 0) threads = default_thread_count();
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_task_.notify_all();
+    for (std::thread& w : workers_) w.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task; runs on some worker in FIFO dequeue order.
+  void submit(std::function<void()> task) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_.push_back(std::move(task));
+    }
+    cv_task_.notify_one();
+  }
+
+  /// Block until the queue is drained and every running task has finished.
+  void wait_idle() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  }
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  static std::size_t default_thread_count() {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+  }
+
+ private:
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        if (stop_ && queue_.empty()) return;
+        task = std::move(queue_.front());
+        queue_.pop_front();
+        ++active_;
+      }
+      task();
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        --active_;
+        if (queue_.empty() && active_ == 0) cv_idle_.notify_all();
+      }
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace vw

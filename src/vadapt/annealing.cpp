@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "util/check.hpp"
+#include "vadapt/incremental.hpp"
 
 namespace vw::vadapt {
 
@@ -15,24 +16,32 @@ Path direct_path(const Configuration& conf, const Demand& d) {
 }
 
 void reset_paths_direct(Configuration& conf, const std::vector<Demand>& demands) {
-  conf.paths.clear();
-  conf.paths.reserve(demands.size());
-  for (const Demand& d : demands) conf.paths.push_back(direct_path(conf, d));
+  conf.paths.resize(demands.size());
+  for (std::size_t d = 0; d < demands.size(); ++d) {
+    conf.paths[d].assign({conf.mapping[demands[d].src], conf.mapping[demands[d].dst]});
+  }
 }
+
+/// Reusable buffers so the perturb helpers allocate nothing per iteration
+/// (after warm-up): a host-indexed flag array and a candidate pool.
+struct PerturbScratch {
+  std::vector<char> flags;
+  std::vector<HostIndex> pool;
+};
 
 /// Insert a random vertex (not already on the path) at a random interior
 /// position. No-op when every vertex is already on the path.
-void perturb_insert(Path& path, std::size_t n_hosts, Rng& rng) {
+void perturb_insert(Path& path, std::size_t n_hosts, Rng& rng, PerturbScratch& scratch) {
   if (path.size() >= n_hosts) return;
-  std::vector<bool> on_path(n_hosts, false);
-  for (HostIndex h : path) on_path[h] = true;
-  std::vector<HostIndex> candidates;
+  scratch.flags.assign(n_hosts, 0);
+  for (HostIndex h : path) scratch.flags[h] = 1;
+  scratch.pool.clear();
   for (HostIndex h = 0; h < n_hosts; ++h) {
-    if (!on_path[h]) candidates.push_back(h);
+    if (!scratch.flags[h]) scratch.pool.push_back(h);
   }
-  if (candidates.empty()) return;
-  const HostIndex v = candidates[static_cast<std::size_t>(
-      rng.uniform_int(0, static_cast<std::int64_t>(candidates.size()) - 1))];
+  if (scratch.pool.empty()) return;
+  const HostIndex v = scratch.pool[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(scratch.pool.size()) - 1))];
   // Interior positions are 1..size-1 (endpoints stay fixed).
   const auto pos = static_cast<std::size_t>(
       rng.uniform_int(1, static_cast<std::int64_t>(path.size()) - 1));
@@ -47,36 +56,42 @@ void perturb_delete(Path& path, Rng& rng) {
   path.erase(path.begin() + static_cast<std::ptrdiff_t>(pos));
 }
 
-/// Swap two distinct interior vertices; no-op when fewer than two.
+/// Swap two distinct interior vertices; no-op when fewer than two. A
+/// coinciding second draw is offset to the next interior slot so the move
+/// never silently degrades to a no-op.
 void perturb_swap(Path& path, Rng& rng) {
   if (path.size() <= 3) return;
   const auto lo = static_cast<std::int64_t>(1);
   const auto hi = static_cast<std::int64_t>(path.size()) - 2;
   const auto x = static_cast<std::size_t>(rng.uniform_int(lo, hi));
   auto y = static_cast<std::size_t>(rng.uniform_int(lo, hi));
-  if (x == y) return;
+  if (x == y) {
+    y = static_cast<std::size_t>(lo) +
+        (y - static_cast<std::size_t>(lo) + 1) % static_cast<std::size_t>(hi - lo + 1);
+  }
   std::swap(path[x], path[y]);
 }
 
-void perturb_mapping(Configuration& conf, std::size_t n_hosts, Rng& rng) {
+void perturb_mapping(Configuration& conf, std::size_t n_hosts, Rng& rng,
+                     PerturbScratch& scratch) {
   const std::size_t n_vms = conf.mapping.size();
   if (n_vms == 0) return;
-  std::vector<bool> used(n_hosts, false);
-  for (HostIndex h : conf.mapping) used[h] = true;
-  std::vector<HostIndex> free_hosts;
+  scratch.flags.assign(n_hosts, 0);
+  for (HostIndex h : conf.mapping) scratch.flags[h] = 1;
+  scratch.pool.clear();
   for (HostIndex h = 0; h < n_hosts; ++h) {
-    if (!used[h]) free_hosts.push_back(h);
+    if (!scratch.flags[h]) scratch.pool.push_back(h);
   }
 
-  const bool can_move = !free_hosts.empty();
+  const bool can_move = !scratch.pool.empty();
   const bool can_swap = n_vms >= 2;
   if (!can_move && !can_swap) return;
   const bool do_move = can_move && (!can_swap || rng.chance(0.5));
   if (do_move) {
     const auto vm = static_cast<std::size_t>(
         rng.uniform_int(0, static_cast<std::int64_t>(n_vms) - 1));
-    const HostIndex target = free_hosts[static_cast<std::size_t>(
-        rng.uniform_int(0, static_cast<std::int64_t>(free_hosts.size()) - 1))];
+    const HostIndex target = scratch.pool[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(scratch.pool.size()) - 1))];
     conf.mapping[vm] = target;
   } else {
     const auto a = static_cast<std::size_t>(
@@ -85,6 +100,132 @@ void perturb_mapping(Configuration& conf, std::size_t n_hosts, Rng& rng) {
     if (a == b) b = (b + 1) % n_vms;
     std::swap(conf.mapping[a], conf.mapping[b]);
   }
+}
+
+/// Reference evaluation backend with the same surface as
+/// IncrementalEvaluator: every move pays a from-scratch evaluate() (the
+/// pre-incremental cost structure). Because the delta evaluation is
+/// bit-exact, an annealer driven by either backend makes identical
+/// decisions from the same random stream.
+class FullRescorer {
+ public:
+  FullRescorer(const CapacityGraph& graph, const std::vector<Demand>& demands,
+               const Objective& objective)
+      : graph_(&graph), demands_(&demands), objective_(objective) {}
+
+  void reset(Configuration conf) {
+    conf_ = std::move(conf);
+    eval_ = evaluate(*graph_, *demands_, conf_, objective_);
+  }
+
+  void set_path(std::size_t d, const Path& path) {
+    conf_.paths[d].assign(path.begin(), path.end());
+    eval_ = evaluate(*graph_, *demands_, conf_, objective_);
+  }
+
+  const Configuration& configuration() const { return conf_; }
+  const Evaluation& evaluation() const { return eval_; }
+
+ private:
+  const CapacityGraph* graph_;
+  const std::vector<Demand>* demands_;
+  Objective objective_;
+  Configuration conf_;
+  Evaluation eval_;
+};
+
+/// The annealing loop, parameterized over the evaluation backend. Both
+/// backends consume the identical random sequence: the only divergence
+/// point would be a differing cost, which the bit-exactness contract of
+/// IncrementalEvaluator rules out.
+template <typename Evaluator>
+AnnealingResult anneal_loop(const CapacityGraph& graph, const std::vector<Demand>& demands,
+                            const AnnealingParams& params, Rng& rng, Configuration start,
+                            Evaluator& ev) {
+  const std::size_t n_hosts = graph.size();
+  const std::size_t n_demands = demands.size();
+
+  ev.reset(std::move(start));
+  Evaluation current_eval = ev.evaluation();
+
+  AnnealingResult result;
+  result.best = ev.configuration();
+  result.best_evaluation = current_eval;
+
+  double temperature = params.initial_temperature;
+  if (temperature <= 0) {
+    temperature = std::max(std::abs(current_eval.cost) * 0.1, 1.0);
+  }
+
+  PerturbScratch scratch;
+  Path old_path;                  // revert buffer for single-path moves
+  Path candidate_path;            // perturbed path under consideration
+  Configuration previous_conf;    // revert buffer for mapping moves
+
+  for (std::size_t iter = 0; iter < params.iterations; ++iter) {
+    // --- perturbation function -------------------------------------------
+    // One move per iteration: occasionally the VM mapping (full rescore —
+    // every path is invalidated), otherwise one randomly chosen path.
+    Evaluation cand_eval;
+    bool mapping_move = rng.chance(params.mapping_perturb_prob);
+    std::size_t moved_demand = 0;
+    if (mapping_move) {
+      previous_conf = ev.configuration();
+      Configuration candidate = previous_conf;
+      perturb_mapping(candidate, n_hosts, rng, scratch);
+      reset_paths_direct(candidate, demands);  // new mapping invalidates paths
+      ev.reset(std::move(candidate));
+      cand_eval = ev.evaluation();
+    } else if (n_demands > 0) {
+      moved_demand = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(n_demands) - 1));
+      const Path& live = ev.configuration().paths[moved_demand];
+      old_path.assign(live.begin(), live.end());
+      candidate_path.assign(live.begin(), live.end());
+      const double u = rng.uniform(0.0, 3.0);
+      if (u < 1.0) {
+        perturb_insert(candidate_path, n_hosts, rng, scratch);
+      } else if (u < 2.0) {
+        perturb_delete(candidate_path, rng);
+      } else {
+        perturb_swap(candidate_path, rng);
+      }
+      ev.set_path(moved_demand, candidate_path);
+      cand_eval = ev.evaluation();
+    } else {
+      cand_eval = current_eval;  // nothing to perturb
+    }
+
+    // --- acceptance --------------------------------------------------------
+    const double dE = cand_eval.cost - current_eval.cost;
+    const bool accept = dE >= 0 || rng.chance(std::exp(dE / temperature));
+    if (accept) {
+      current_eval = cand_eval;
+      if (current_eval.cost > result.best_evaluation.cost) {
+        result.best = ev.configuration();
+        result.best_evaluation = current_eval;
+      }
+    } else if (mapping_move) {
+      ev.reset(std::move(previous_conf));
+    } else if (n_demands > 0) {
+      ev.set_path(moved_demand, old_path);  // O(path length) revert
+    }
+    // Acceptance bookkeeping: the incumbent best can never fall behind the
+    // walker, and hill-climbing moves (dE >= 0) are always taken.
+    VW_ASSERT(result.best_evaluation.cost >= current_eval.cost,
+              "simulated_annealing: best fell behind current");
+    VW_ASSERT(!(dE >= 0) || accept, "simulated_annealing: improving move rejected");
+
+    if (iter % params.trace_stride == 0) {
+      result.trace.push_back(
+          AnnealingTracePoint{iter, current_eval.cost, result.best_evaluation.cost});
+    }
+    temperature *= params.cooling;
+  }
+
+  result.final_state = ev.configuration();
+  result.final_evaluation = current_eval;
+  return result;
 }
 
 }  // namespace
@@ -104,7 +245,8 @@ Configuration random_configuration(const CapacityGraph& graph, const std::vector
   }
   Configuration conf;
   conf.mapping.assign(hosts.begin(), hosts.begin() + static_cast<std::ptrdiff_t>(n_vms));
-  reset_paths_direct(conf, demands);
+  conf.paths.reserve(demands.size());
+  for (const Demand& d : demands) conf.paths.push_back(direct_path(conf, d));
   // Every VM placed, no host doubly used: the feasibility bedrock of VADAPT.
   VW_ENSURE(conf.mapping.size() == n_vms, "random_configuration: VM left unplaced");
   VW_AUDIT(valid_mapping(conf.mapping, n_hosts),
@@ -117,6 +259,7 @@ AnnealingResult simulated_annealing(const CapacityGraph& graph,
                                     const Objective& objective, const AnnealingParams& params,
                                     Rng rng, std::optional<Configuration> initial) {
   const std::size_t n_hosts = graph.size();
+  VW_REQUIRE(params.trace_stride > 0, "simulated_annealing: trace_stride must be >= 1");
 
   Configuration current =
       initial ? std::move(*initial) : random_configuration(graph, demands, n_vms, rng);
@@ -127,64 +270,12 @@ AnnealingResult simulated_annealing(const CapacityGraph& graph,
            "simulated_annealing: initial mapping not injective/in range");
   if (current.paths.size() != demands.size()) reset_paths_direct(current, demands);
 
-  Evaluation current_eval = evaluate(graph, demands, current, objective);
-
-  AnnealingResult result;
-  result.best = current;
-  result.best_evaluation = current_eval;
-
-  double temperature = params.initial_temperature;
-  if (temperature <= 0) {
-    temperature = std::max(std::abs(current_eval.cost) * 0.1, 1.0);
+  if (params.full_rescore) {
+    FullRescorer ev(graph, demands, objective);
+    return anneal_loop(graph, demands, params, rng, std::move(current), ev);
   }
-
-  for (std::size_t iter = 0; iter < params.iterations; ++iter) {
-    // --- perturbation function -------------------------------------------
-    Configuration candidate = current;
-    if (rng.chance(params.mapping_perturb_prob)) {
-      perturb_mapping(candidate, n_hosts, rng);
-      reset_paths_direct(candidate, demands);  // new mapping invalidates paths
-    } else {
-      for (Path& path : candidate.paths) {
-        const double u = rng.uniform(0.0, 3.0);
-        if (u < 1.0) {
-          perturb_insert(path, n_hosts, rng);
-        } else if (u < 2.0) {
-          perturb_delete(path, rng);
-        } else {
-          perturb_swap(path, rng);
-        }
-      }
-    }
-
-    // --- acceptance --------------------------------------------------------
-    const Evaluation cand_eval = evaluate(graph, demands, candidate, objective);
-    const double dE = cand_eval.cost - current_eval.cost;
-    const bool accept = dE >= 0 || rng.chance(std::exp(dE / temperature));
-    if (accept) {
-      current = std::move(candidate);
-      current_eval = cand_eval;
-      if (current_eval.cost > result.best_evaluation.cost) {
-        result.best = current;
-        result.best_evaluation = current_eval;
-      }
-    }
-    // Acceptance bookkeeping: the incumbent best can never fall behind the
-    // walker, and hill-climbing moves (dE >= 0) are always taken.
-    VW_ASSERT(result.best_evaluation.cost >= current_eval.cost,
-              "simulated_annealing: best fell behind current");
-    VW_ASSERT(!(dE >= 0) || accept, "simulated_annealing: improving move rejected");
-
-    if (iter % params.trace_stride == 0) {
-      result.trace.push_back(
-          AnnealingTracePoint{iter, current_eval.cost, result.best_evaluation.cost});
-    }
-    temperature *= params.cooling;
-  }
-
-  result.final_state = std::move(current);
-  result.final_evaluation = current_eval;
-  return result;
+  IncrementalEvaluator ev(graph, demands, objective);
+  return anneal_loop(graph, demands, params, rng, std::move(current), ev);
 }
 
 }  // namespace vw::vadapt

@@ -7,10 +7,21 @@
 #include "vadapt/problem.hpp"
 
 // Simulated annealing (paper §4.3). State = a configuration; the
-// perturbation function modifies each forwarding path (insert / delete /
-// swap a vertex, probability 1/3 each) and occasionally perturbs the VM
-// mapping itself (which resets the paths); acceptance follows the standard
-// exp(dE/T) rule with geometric cooling. Variants:
+// perturbation function modifies ONE randomly chosen forwarding path per
+// iteration (insert / delete / swap a vertex, probability 1/3 each) and
+// occasionally perturbs the VM mapping itself (which resets the paths);
+// acceptance follows the standard exp(dE/T) rule with geometric cooling.
+//
+// Evaluation is incremental: a single-path move applies an O(path-length)
+// delta through IncrementalEvaluator instead of rebuilding the O(n²)
+// residual matrix; only a mapping perturbation pays a full rescore. Setting
+// AnnealingParams::full_rescore re-derives the CEF from scratch every
+// iteration (the pre-incremental behavior). Both modes draw the same random
+// sequence and the delta evaluation is bit-exact against `evaluate`, so the
+// two produce bit-identical optimizer decisions — the differential tests
+// rely on this.
+//
+// Variants:
 //   SA      — random initial configuration
 //   SA+GH   — seeded with the greedy heuristic's configuration
 //   SA+GH+B — additionally reports the best configuration seen so far
@@ -23,7 +34,11 @@ struct AnnealingParams {
   double initial_temperature = 0;    ///< <=0: auto-scale from the initial cost
   double cooling = 0.999;            ///< geometric temperature decay per iteration
   double mapping_perturb_prob = 0.05;
-  std::size_t trace_stride = 1;      ///< record every k-th iteration
+  std::size_t trace_stride = 1;      ///< record every k-th iteration; must be >= 1
+  /// Reference mode: full evaluate() every iteration instead of incremental
+  /// deltas. Decisions are bit-identical to the incremental mode; used by
+  /// differential tests and the BENCH_vadapt micro benches.
+  bool full_rescore = false;
 };
 
 struct AnnealingTracePoint {

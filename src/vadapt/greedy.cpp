@@ -26,10 +26,9 @@ std::vector<Id> extract_ordered(const PairList& ordered_pairs, std::size_t expec
   return out;
 }
 
-}  // namespace
-
-std::vector<HostIndex> greedy_mapping(const CapacityGraph& graph,
-                                      const std::vector<Demand>& demands, std::size_t n_vms) {
+std::vector<HostIndex> greedy_mapping_impl(const CapacityGraph& graph,
+                                           const std::vector<Demand>& demands,
+                                           std::size_t n_vms, WidestPathCache& cache) {
   const std::size_t n_hosts = graph.size();
   VW_REQUIRE(n_vms <= n_hosts, "greedy_mapping: more VMs (", n_vms, ") than hosts (", n_hosts,
              ")");
@@ -46,10 +45,12 @@ std::vector<HostIndex> greedy_mapping(const CapacityGraph& graph,
     if (std::find(vm_order.begin(), vm_order.end(), v) == vm_order.end()) vm_order.push_back(v);
   }
 
-  // (4) widest-path bottleneck between every VNET daemon pair.
+  // (4) widest-path bottleneck between every VNET daemon pair; the cached
+  // trees are shared with the routing step, which queries the same
+  // unmodified graph for its first demand.
   std::vector<std::tuple<HostIndex, HostIndex, double>> host_pairs;
   for (HostIndex i = 0; i < n_hosts; ++i) {
-    const WidestPathTree tree = widest_paths(graph.bandwidth_matrix(), i);
+    const WidestPathTree& tree = cache.tree(i);
     for (HostIndex j = 0; j < n_hosts; ++j) {
       if (i == j) continue;
       const double w = tree.parent[j] ? tree.width[j] : 0;
@@ -75,8 +76,10 @@ std::vector<HostIndex> greedy_mapping(const CapacityGraph& graph,
   return mapping;
 }
 
-std::vector<Path> greedy_paths(const CapacityGraph& graph, const std::vector<Demand>& demands,
-                               const std::vector<HostIndex>& mapping) {
+std::vector<Path> greedy_paths_impl(const CapacityGraph& graph,
+                                    const std::vector<Demand>& demands,
+                                    const std::vector<HostIndex>& mapping, AdjacencyView& view,
+                                    WidestPathCache& cache) {
   // (1) demands in descending order of communication intensity.
   std::vector<std::size_t> order(demands.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
@@ -84,28 +87,58 @@ std::vector<Path> greedy_paths(const CapacityGraph& graph, const std::vector<Dem
     return demands[a].rate_bps > demands[b].rate_bps;
   });
 
-  // (2) greedy widest-path mapping on the running residual graph.
+  // (2) greedy widest-path mapping on the running residual graph. The dense
+  // residual matrix keeps the exact arithmetic (entries may go negative);
+  // the adjacency view mirrors it for routing, where <= 0 means "absent".
   auto residual = graph.bandwidth_matrix();
   std::vector<Path> paths(demands.size());
   for (std::size_t idx : order) {
     const Demand& d = demands[idx];
     const HostIndex src = mapping.at(d.src);
     const HostIndex dst = mapping.at(d.dst);
-    auto path = widest_path_between(residual, src, dst);
+    auto path = cache.tree(src).path_to(dst);
     if (!path) path = Path{src, dst};  // exhausted graph: fall back to the direct edge
-    for (std::size_t i = 0; i + 1 < path->size(); ++i) {
-      residual[(*path)[i]][(*path)[i + 1]] -= d.rate_bps;
+    if (d.rate_bps != 0 && path->size() >= 2) {
+      for (std::size_t i = 0; i + 1 < path->size(); ++i) {
+        const HostIndex u = (*path)[i];
+        const HostIndex v = (*path)[i + 1];
+        residual[u][v] -= d.rate_bps;
+        view.update(u, v, residual[u][v]);
+      }
+      cache.invalidate();  // capacities changed; memoized trees are stale
     }
     paths[idx] = std::move(*path);
   }
   return paths;
 }
 
+}  // namespace
+
+std::vector<HostIndex> greedy_mapping(const CapacityGraph& graph,
+                                      const std::vector<Demand>& demands, std::size_t n_vms) {
+  AdjacencyView view(graph.bandwidth_matrix());
+  WidestPathCache cache(view);
+  return greedy_mapping_impl(graph, demands, n_vms, cache);
+}
+
+std::vector<Path> greedy_paths(const CapacityGraph& graph, const std::vector<Demand>& demands,
+                               const std::vector<HostIndex>& mapping) {
+  AdjacencyView view(graph.bandwidth_matrix());
+  WidestPathCache cache(view);
+  return greedy_paths_impl(graph, demands, mapping, view, cache);
+}
+
 GreedyResult greedy_heuristic(const CapacityGraph& graph, const std::vector<Demand>& demands,
                               std::size_t n_vms, const Objective& objective) {
+  // One view + tree cache spans both steps: the mapping step fills the cache
+  // for every source, and the routing step's first widest-path query (the
+  // heaviest demand, before any residual update) reuses it.
+  AdjacencyView view(graph.bandwidth_matrix());
+  WidestPathCache cache(view);
   GreedyResult result;
-  result.configuration.mapping = greedy_mapping(graph, demands, n_vms);
-  result.configuration.paths = greedy_paths(graph, demands, result.configuration.mapping);
+  result.configuration.mapping = greedy_mapping_impl(graph, demands, n_vms, cache);
+  result.configuration.paths =
+      greedy_paths_impl(graph, demands, result.configuration.mapping, view, cache);
   result.evaluation = evaluate(graph, demands, result.configuration, objective);
   return result;
 }

@@ -1,0 +1,145 @@
+#include "vadapt/incremental.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace vw::vadapt {
+
+IncrementalEvaluator::IncrementalEvaluator(const CapacityGraph& graph,
+                                           std::vector<Demand> demands, Objective objective)
+    : graph_(&graph),
+      demands_(std::move(demands)),
+      objective_(objective),
+      n_(graph.size()),
+      residual_(n_ * n_, 0.0),
+      users_(n_ * n_),
+      bottleneck_(demands_.size(), 0.0),
+      path_latency_(demands_.size(), 0.0),
+      affected_stamp_(demands_.size(), 0) {
+  // Prime the residual matrix with the (fixed) capacity matrix once. The
+  // invariant from here on: an edge with no users always holds its raw
+  // bandwidth, so reset() only has to touch edges whose user lists change.
+  for (HostIndex u = 0; u < n_; ++u) {
+    for (HostIndex v = 0; v < n_; ++v) residual_[u * n_ + v] = graph_->bandwidth(u, v);
+  }
+}
+
+void IncrementalEvaluator::reset(Configuration conf) {
+  VW_REQUIRE(conf.paths.size() == demands_.size(),
+             "IncrementalEvaluator::reset: path/demand count mismatch (", conf.paths.size(),
+             " vs ", demands_.size(), ")");
+  VW_AUDIT(valid_mapping(conf.mapping, n_),
+           "IncrementalEvaluator::reset: mapping not injective/in range");
+  // Detach only the edges the outgoing configuration used (an edge with no
+  // users holds its raw bandwidth by invariant — see the constructor), then
+  // mirror residual_capacities exactly: subtract demand rates in ascending
+  // demand order (the attach loop below runs d = 0, 1, ... so the per-edge
+  // user lists come out sorted and the subtraction order matches).
+  for (const Path& p : conf_.paths) {
+    for (std::size_t i = 0; i + 1 < p.size(); ++i) {
+      users_[p[i] * n_ + p[i + 1]].clear();
+      residual_[p[i] * n_ + p[i + 1]] = graph_->bandwidth(p[i], p[i + 1]);
+    }
+  }
+  conf_ = std::move(conf);
+
+  for (std::size_t d = 0; d < demands_.size(); ++d) {
+    const Path& p = conf_.paths[d];
+    VW_AUDIT(valid_path(p, conf_, demands_[d], n_),
+             "IncrementalEvaluator::reset: invalid path for demand ", d);
+    for (std::size_t i = 0; i + 1 < p.size(); ++i) {
+      users_[p[i] * n_ + p[i + 1]].push_back(static_cast<std::uint32_t>(d));
+      residual_[p[i] * n_ + p[i + 1]] -= demands_[d].rate_bps;
+    }
+  }
+  for (std::size_t d = 0; d < demands_.size(); ++d) rescore_demand(d);
+  refresh_evaluation();
+}
+
+void IncrementalEvaluator::recompute_edge(HostIndex u, HostIndex v) {
+  // From-scratch, in ascending demand order: bit-identical to the reference
+  // accumulation and free of add/subtract drift across moves.
+  double r = graph_->bandwidth(u, v);
+  for (std::uint32_t id : users_[u * n_ + v]) r -= demands_[id].rate_bps;
+  residual_[u * n_ + v] = r;
+}
+
+void IncrementalEvaluator::rescore_demand(std::size_t d) {
+  const Path& p = conf_.paths[d];
+  double bottleneck = std::numeric_limits<double>::infinity();
+  double latency = 0;
+  for (std::size_t i = 0; i + 1 < p.size(); ++i) {
+    bottleneck = std::min(bottleneck, residual_[p[i] * n_ + p[i + 1]]);
+    latency += graph_->latency(p[i], p[i + 1]);
+  }
+  if (p.size() < 2) bottleneck = 0;  // degenerate (mirrors evaluate)
+  bottleneck_[d] = bottleneck;
+  path_latency_[d] = latency;
+}
+
+void IncrementalEvaluator::refresh_evaluation() {
+  // Same accumulation order as evaluate(): cost += bottleneck, then the
+  // latency reward, demand by demand.
+  eval_.min_residual_bps = std::numeric_limits<double>::infinity();
+  double cost = 0;
+  for (std::size_t d = 0; d < demands_.size(); ++d) {
+    cost += bottleneck_[d];
+    if (objective_.kind == ObjectiveKind::kResidualBandwidthLatency && path_latency_[d] > 0) {
+      cost += objective_.latency_weight / path_latency_[d];
+    }
+    eval_.min_residual_bps = std::min(eval_.min_residual_bps, bottleneck_[d]);
+  }
+  eval_.cost = cost;
+  eval_.feasible = eval_.min_residual_bps >= 0;
+  if (demands_.empty()) {
+    eval_.min_residual_bps = 0;
+    eval_.feasible = true;
+  }
+}
+
+void IncrementalEvaluator::mark_affected(std::uint32_t d) {
+  if (affected_stamp_[d] == stamp_) return;
+  affected_stamp_[d] = stamp_;
+  affected_.push_back(d);
+}
+
+void IncrementalEvaluator::set_path(std::size_t d, const Path& path) {
+  VW_REQUIRE(d < demands_.size(), "IncrementalEvaluator::set_path: demand ", d,
+             " out of range (", demands_.size(), ")");
+  VW_AUDIT(valid_path(path, conf_, demands_[d], n_),
+           "IncrementalEvaluator::set_path: invalid path for demand ", d);
+
+  ++stamp_;
+  affected_.clear();
+  mark_affected(static_cast<std::uint32_t>(d));
+
+  // Detach the old path: drop d from each edge's user list and recompute the
+  // edge residual; every other demand on the edge is affected.
+  Path& current = conf_.paths[d];
+  for (std::size_t i = 0; i + 1 < current.size(); ++i) {
+    auto& users = users_[current[i] * n_ + current[i + 1]];
+    const auto it = std::lower_bound(users.begin(), users.end(), static_cast<std::uint32_t>(d));
+    VW_ASSERT(it != users.end() && *it == d,
+              "IncrementalEvaluator: edge-user index lost demand ", d);
+    users.erase(it);
+    recompute_edge(current[i], current[i + 1]);
+    for (std::uint32_t id : users) mark_affected(id);
+  }
+
+  // Swap in the new path (reusing the old vector's capacity) and attach.
+  current.assign(path.begin(), path.end());
+  for (std::size_t i = 0; i + 1 < current.size(); ++i) {
+    auto& users = users_[current[i] * n_ + current[i + 1]];
+    users.insert(std::lower_bound(users.begin(), users.end(), static_cast<std::uint32_t>(d)),
+                 static_cast<std::uint32_t>(d));
+    recompute_edge(current[i], current[i + 1]);
+    for (std::uint32_t id : users) mark_affected(id);
+  }
+
+  for (std::uint32_t id : affected_) rescore_demand(id);
+  refresh_evaluation();
+}
+
+}  // namespace vw::vadapt

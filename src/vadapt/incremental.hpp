@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "vadapt/problem.hpp"
+
+// Delta evaluation for the VADAPT CEF (paper §4.1, Eq. 1 / Eq. 3).
+//
+// The simulated-annealing perturbation function changes one forwarding path
+// per step, yet a from-scratch `evaluate` rebuilds the full O(n²) residual
+// matrix and rescores every demand. IncrementalEvaluator keeps the residual
+// matrix and per-demand bottleneck/latency terms alive across iterations and
+// applies O(path-length) deltas for a single-path replacement: only the
+// edges of the outgoing and incoming paths — and the demands routed over
+// those edges — are rescored.
+//
+// Bit-exactness contract: every number this class reports is bit-identical
+// to what `evaluate(graph, demands, configuration())` would return. Touched
+// edges are recomputed as capacity minus the rates of their users in
+// ascending demand order — the exact accumulation order of
+// `residual_capacities` — rather than patched by add/subtract (which would
+// accumulate floating-point drift and diverge from the reference). The
+// differential tests in tests/vadapt_incremental_test.cpp enforce this over
+// long randomized walks.
+
+namespace vw::vadapt {
+
+class IncrementalEvaluator {
+ public:
+  /// The graph must outlive the evaluator; the demand list is copied.
+  IncrementalEvaluator(const CapacityGraph& graph, std::vector<Demand> demands,
+                       Objective objective = {});
+
+  /// Adopt a configuration and fully rescore it: O(n² + Σ path length).
+  /// Required after any mapping change (which invalidates every path).
+  void reset(Configuration conf);
+
+  /// Replace demand d's forwarding path and rescore only what it touched:
+  /// O(|old| + |new| + Σ affected-path length). The path must be valid for
+  /// the current mapping. Calling with the prior path restores the previous
+  /// state exactly (the annealer's reject-revert).
+  void set_path(std::size_t d, const Path& path);
+
+  const Configuration& configuration() const { return conf_; }
+  const Evaluation& evaluation() const { return eval_; }
+  const std::vector<Demand>& demands() const { return demands_; }
+  const Objective& objective() const { return objective_; }
+
+  /// Residual capacity of one edge under the current configuration.
+  double residual(HostIndex u, HostIndex v) const { return residual_[u * n_ + v]; }
+
+  /// Bottleneck of demand d's current path (0 for degenerate paths).
+  double bottleneck(std::size_t d) const { return bottleneck_[d]; }
+
+ private:
+  void recompute_edge(HostIndex u, HostIndex v);
+  void rescore_demand(std::size_t d);
+  void refresh_evaluation();
+  void mark_affected(std::uint32_t d);
+
+  const CapacityGraph* graph_;
+  std::vector<Demand> demands_;
+  Objective objective_;
+  std::size_t n_ = 0;
+
+  Configuration conf_;
+  Evaluation eval_;
+  std::vector<double> residual_;  ///< flat [u * n_ + v]
+  /// Demands whose path crosses edge (u,v), ascending; flat [u * n_ + v].
+  std::vector<std::vector<std::uint32_t>> users_;
+  std::vector<double> bottleneck_;    ///< per demand
+  std::vector<double> path_latency_;  ///< per demand
+
+  // Scratch for set_path: epoch-stamped dedup of affected demands.
+  std::vector<std::uint32_t> affected_;
+  std::vector<std::uint32_t> affected_stamp_;
+  std::uint32_t stamp_ = 0;
+};
+
+}  // namespace vw::vadapt

@@ -1,0 +1,83 @@
+#include "vadapt/multistart.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <string>
+#include <utility>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace vw::vadapt {
+
+namespace {
+
+struct ChainSlot {
+  AnnealingResult result;
+  std::exception_ptr error;
+};
+
+}  // namespace
+
+MultiStartResult multi_start_annealing(const CapacityGraph& graph,
+                                       const std::vector<Demand>& demands, std::size_t n_vms,
+                                       const Objective& objective,
+                                       const MultiStartParams& params,
+                                       std::optional<Configuration> initial) {
+  VW_REQUIRE(params.chains >= 1, "multi_start_annealing: need at least one chain");
+
+  // Derive one deterministic seed per chain from the caller's root seed.
+  const RngService seeds(params.seed);
+  std::vector<std::uint64_t> chain_seeds(params.chains);
+  for (std::size_t k = 0; k < params.chains; ++k) {
+    chain_seeds[k] = seeds.seed_for("vadapt.multistart.chain." + std::to_string(k));
+  }
+
+  std::vector<ChainSlot> slots(params.chains);
+  auto run_chain = [&](std::size_t k) {
+    try {
+      std::optional<Configuration> chain_initial;
+      if (initial && (k == 0 || !params.diversify_initial)) chain_initial = *initial;
+      slots[k].result = simulated_annealing(graph, demands, n_vms, objective, params.annealing,
+                                            Rng(chain_seeds[k]), std::move(chain_initial));
+    } catch (...) {
+      slots[k].error = std::current_exception();
+    }
+  };
+
+  std::size_t threads = params.threads == 0 ? ThreadPool::default_thread_count() : params.threads;
+  threads = std::min(threads, params.chains);
+  if (threads <= 1 || params.chains == 1) {
+    for (std::size_t k = 0; k < params.chains; ++k) run_chain(k);
+  } else {
+    ThreadPool pool(threads);
+    for (std::size_t k = 0; k < params.chains; ++k) {
+      pool.submit([&run_chain, k] { run_chain(k); });
+    }
+    pool.wait_idle();
+  }
+
+  // Propagate the first (lowest-index) chain failure deterministically.
+  for (std::size_t k = 0; k < params.chains; ++k) {
+    if (slots[k].error) std::rethrow_exception(slots[k].error);
+  }
+
+  // Merge best-of: highest CEF wins, ties break toward the lowest chain
+  // index — the reduction is independent of completion order.
+  MultiStartResult out;
+  out.chains.reserve(params.chains);
+  std::size_t best = 0;
+  for (std::size_t k = 0; k < params.chains; ++k) {
+    out.chains.push_back({chain_seeds[k], slots[k].result.best_evaluation});
+    if (slots[k].result.best_evaluation.cost > slots[best].result.best_evaluation.cost) {
+      best = k;
+    }
+  }
+  out.best_chain = best;
+  out.best = std::move(slots[best].result);
+  VW_ENSURE(out.chains.size() == params.chains, "multi_start_annealing: chain outcome lost");
+  return out;
+}
+
+}  // namespace vw::vadapt

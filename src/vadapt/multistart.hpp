@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "vadapt/annealing.hpp"
+#include "vadapt/problem.hpp"
+
+// Parallel multi-start simulated annealing. K independent SA chains run
+// concurrently on a thread pool; each chain draws from its own RNG stream,
+// derived by splitting the caller's seed (RngService-style FNV/splitmix
+// hashing over the chain index), so the outcome is a pure function of
+// (problem, params) — the same best configuration is produced whether the
+// chains run on one thread or sixteen. Results land in per-chain slots and
+// the merge picks the highest CEF, breaking ties toward the lowest chain
+// index, which keeps the reduction deterministic too.
+
+namespace vw::vadapt {
+
+struct MultiStartParams {
+  std::size_t chains = 4;    ///< number of independent SA chains (>= 1)
+  std::size_t threads = 0;   ///< worker threads; 0 = one per hardware thread
+  std::uint64_t seed = 1;    ///< split into per-chain streams
+  AnnealingParams annealing; ///< shared by every chain
+  /// When an initial configuration is supplied (e.g. the greedy solution),
+  /// chain 0 starts from it and the remaining chains start from independent
+  /// random configurations; false makes every chain start from the initial.
+  bool diversify_initial = true;
+};
+
+struct ChainOutcome {
+  std::uint64_t seed = 0;      ///< the chain's derived RNG seed
+  Evaluation best_evaluation;  ///< best CEF the chain reached
+};
+
+struct MultiStartResult {
+  AnnealingResult best;              ///< the winning chain's full result
+  std::size_t best_chain = 0;        ///< index of the winning chain
+  std::vector<ChainOutcome> chains;  ///< per-chain outcomes, index-aligned
+};
+
+MultiStartResult multi_start_annealing(const CapacityGraph& graph,
+                                       const std::vector<Demand>& demands, std::size_t n_vms,
+                                       const Objective& objective,
+                                       const MultiStartParams& params,
+                                       std::optional<Configuration> initial = std::nullopt);
+
+}  // namespace vw::vadapt

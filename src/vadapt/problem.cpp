@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <limits>
-#include <set>
 
 #include "util/check.hpp"
 
@@ -17,13 +16,14 @@ CapacityGraph::CapacityGraph(std::vector<net::NodeId> hosts, double default_bw_b
     bw_[i][i] = 0;
     lat_[i][i] = 0;
   }
+  index_.reserve(hosts_.size());
+  for (std::size_t i = 0; i < hosts_.size(); ++i) index_.emplace(hosts_[i], i);
 }
 
 std::optional<HostIndex> CapacityGraph::index_of(net::NodeId host) const {
-  for (std::size_t i = 0; i < hosts_.size(); ++i) {
-    if (hosts_[i] == host) return i;
-  }
-  return std::nullopt;
+  const auto it = index_.find(host);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
 }
 
 void CapacityGraph::set_symmetric_bandwidth(HostIndex a, HostIndex b, double bps) {
@@ -39,10 +39,15 @@ void CapacityGraph::set_symmetric_latency(HostIndex a, HostIndex b, double s) {
 }
 
 bool valid_mapping(const std::vector<HostIndex>& mapping, std::size_t n_hosts) {
-  std::set<HostIndex> used;
+  // Flat scratch instead of a node-allocating std::set: these run inside
+  // VW_AUDIT on optimizer hot paths. thread_local keeps them allocation-free
+  // after warm-up and safe under the multi-start thread pool.
+  thread_local std::vector<char> used;
+  used.assign(n_hosts, 0);
   for (HostIndex h : mapping) {
     if (h >= n_hosts) return false;
-    if (!used.insert(h).second) return false;
+    if (used[h]) return false;
+    used[h] = 1;
   }
   return true;
 }
@@ -53,10 +58,12 @@ bool valid_path(const Path& path, const Configuration& conf, const Demand& deman
   if (demand.src >= conf.mapping.size() || demand.dst >= conf.mapping.size()) return false;
   if (path.front() != conf.mapping[demand.src]) return false;
   if (path.back() != conf.mapping[demand.dst]) return false;
-  std::set<HostIndex> seen;
+  thread_local std::vector<char> seen;
+  seen.assign(n_hosts, 0);
   for (HostIndex h : path) {
     if (h >= n_hosts) return false;
-    if (!seen.insert(h).second) return false;
+    if (seen[h]) return false;
+    seen[h] = 1;
   }
   return true;
 }

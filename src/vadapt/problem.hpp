@@ -4,6 +4,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "net/packet.hpp"
@@ -56,6 +57,9 @@ class CapacityGraph {
 
  private:
   std::vector<net::NodeId> hosts_;
+  /// host id -> index, built once in the constructor (first occurrence wins,
+  /// matching the linear scan it replaced).
+  std::unordered_map<net::NodeId, HostIndex> index_;
   std::vector<std::vector<double>> bw_;   ///< [from][to] bits/sec
   std::vector<std::vector<double>> lat_;  ///< [from][to] seconds
 };

@@ -24,12 +24,73 @@ std::optional<Path> WidestPathTree::path_to(HostIndex dst) const {
   return path;
 }
 
-WidestPathTree widest_paths(const std::vector<std::vector<double>>& capacity, HostIndex source) {
+// --- adjacency view ----------------------------------------------------------
+
+AdjacencyView::AdjacencyView(const std::vector<std::vector<double>>& capacity)
+    : out_(capacity.size()) {
   const std::size_t n = capacity.size();
-  VW_REQUIRE(source < n, "widest_paths: source ", source, " out of range (n=", n, ")");
   VW_AUDIT(std::all_of(capacity.begin(), capacity.end(),
                        [n](const std::vector<double>& row) { return row.size() == n; }),
-           "widest_paths: capacity matrix not square");
+           "AdjacencyView: capacity matrix not square");
+  for (HostIndex u = 0; u < n; ++u) {
+    for (HostIndex v = 0; v < n; ++v) {
+      if (u != v && capacity[u][v] > 0) out_[u].push_back({v, capacity[u][v]});
+    }
+  }
+}
+
+void AdjacencyView::update(HostIndex u, HostIndex v, double capacity) {
+  VW_REQUIRE(u < out_.size() && v < out_.size(),
+             "AdjacencyView::update: vertex out of range");
+  auto& edges = out_[u];
+  const auto it = std::lower_bound(edges.begin(), edges.end(), v,
+                                   [](const CapacityEdge& e, HostIndex t) { return e.to < t; });
+  const bool present = it != edges.end() && it->to == v;
+  if (capacity > 0 && u != v) {
+    if (present) {
+      it->capacity = capacity;
+    } else {
+      edges.insert(it, {v, capacity});  // keeps the list sorted by target
+    }
+  } else if (present) {
+    edges.erase(it);  // ordered erase preserves the dense-scan relaxation order
+  }
+}
+
+double AdjacencyView::capacity(HostIndex u, HostIndex v) const {
+  VW_REQUIRE(u < out_.size() && v < out_.size(),
+             "AdjacencyView::capacity: vertex out of range");
+  const auto& edges = out_[u];
+  const auto it = std::lower_bound(edges.begin(), edges.end(), v,
+                                   [](const CapacityEdge& e, HostIndex t) { return e.to < t; });
+  return (it != edges.end() && it->to == v) ? it->capacity : 0.0;
+}
+
+// --- tree cache --------------------------------------------------------------
+
+WidestPathCache::WidestPathCache(const AdjacencyView& view)
+    : view_(&view), trees_(view.size()) {}
+
+const WidestPathTree& WidestPathCache::tree(HostIndex source) {
+  VW_REQUIRE(source < trees_.size(), "WidestPathCache::tree: source out of range");
+  if (!trees_[source]) {
+    trees_[source] = std::make_unique<WidestPathTree>(widest_paths(*view_, source));
+    ++misses_;
+  } else {
+    ++hits_;
+  }
+  return *trees_[source];
+}
+
+void WidestPathCache::invalidate() {
+  for (auto& tree : trees_) tree.reset();
+}
+
+// --- the adapted Dijkstra ----------------------------------------------------
+
+WidestPathTree widest_paths(const AdjacencyView& view, HostIndex source) {
+  const std::size_t n = view.size();
+  VW_REQUIRE(source < n, "widest_paths: source ", source, " out of range (n=", n, ")");
   WidestPathTree tree;
   tree.source = source;
   tree.width.assign(n, -std::numeric_limits<double>::infinity());
@@ -39,26 +100,30 @@ WidestPathTree widest_paths(const std::vector<std::vector<double>>& capacity, Ho
   using Item = std::pair<double, HostIndex>;  // (width, vertex), max-first
   std::priority_queue<Item> pq;
   pq.push({tree.width[source], source});
-  std::vector<bool> done(n, false);
 
   while (!pq.empty()) {
     auto [w, u] = pq.top();
     pq.pop();
-    if (done[u]) continue;
-    done[u] = true;
-    for (HostIndex v = 0; v < n; ++v) {
-      if (v == u || done[v]) continue;
-      const double edge = capacity[u][v];
-      if (edge <= 0) continue;  // absent or exhausted edge
-      const double through = std::min(w, edge);
-      if (through > tree.width[v]) {
-        tree.width[v] = through;
-        tree.parent[v] = u;
-        pq.push({through, v});
+    // Lazy deletion: a vertex is re-pushed on every width improvement; any
+    // entry whose width no longer matches the best known is stale. A vertex
+    // popped at its best width is settled — no later relaxation can beat it.
+    if (w != tree.width[u]) continue;
+    for (const CapacityEdge& e : view.out(u)) {
+      const double through = std::min(w, e.capacity);
+      if (through > tree.width[e.to]) {
+        tree.width[e.to] = through;
+        tree.parent[e.to] = u;
+        pq.push({through, e.to});
       }
     }
   }
   return tree;
+}
+
+WidestPathTree widest_paths(const std::vector<std::vector<double>>& capacity, HostIndex source) {
+  const std::size_t n = capacity.size();
+  VW_REQUIRE(source < n, "widest_paths: source ", source, " out of range (n=", n, ")");
+  return widest_paths(AdjacencyView(capacity), source);
 }
 
 std::optional<Path> widest_path_between(const std::vector<std::vector<double>>& capacity,

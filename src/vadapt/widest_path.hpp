@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -8,6 +10,13 @@
 // The adapted Dijkstra of paper §4.2.3: single-source *widest* paths on a
 // weighted directed graph, where the width of a path is the minimum edge
 // capacity along it and we maximize that minimum ("select widest").
+//
+// The search runs over an adjacency-list view (positive-capacity edges
+// only) with a lazy-deletion heap — stale queue entries are skipped on pop
+// instead of scanning a dense row per settled vertex. The dense-matrix
+// entry points below build a view on the fly; callers that update
+// capacities between queries (greedy routing, repeated adaptation rounds)
+// should keep an AdjacencyView + WidestPathCache alive instead.
 
 namespace vw::vadapt {
 
@@ -20,6 +29,60 @@ struct WidestPathTree {
   /// (width <= 0 and no parent chain).
   std::optional<Path> path_to(HostIndex dst) const;
 };
+
+/// One outgoing edge of the adjacency view.
+struct CapacityEdge {
+  HostIndex to = 0;
+  double capacity = 0;  ///< strictly positive while the edge is present
+};
+
+/// Sparse adjacency view over a capacity matrix: only edges with strictly
+/// positive capacity exist. Neighbor lists stay sorted by target vertex so
+/// the relaxation order — and therefore tie-breaking — matches the dense
+/// row scan it replaced. Updates are O(degree).
+class AdjacencyView {
+ public:
+  explicit AdjacencyView(const std::vector<std::vector<double>>& capacity);
+
+  std::size_t size() const { return out_.size(); }
+  const std::vector<CapacityEdge>& out(HostIndex u) const { return out_[u]; }
+
+  /// Set the capacity of edge u -> v; <= 0 removes the edge.
+  void update(HostIndex u, HostIndex v, double capacity);
+
+  /// Current capacity of u -> v (0 when absent).
+  double capacity(HostIndex u, HostIndex v) const;
+
+ private:
+  std::vector<std::vector<CapacityEdge>> out_;
+};
+
+/// Memoizes per-source widest-path trees over a view. The greedy heuristic
+/// queries the same sources repeatedly (mapping step: every source; routing
+/// step: one per demand) — the cache collapses repeats until the underlying
+/// capacities change and `invalidate` is called.
+class WidestPathCache {
+ public:
+  explicit WidestPathCache(const AdjacencyView& view);
+
+  /// The memoized tree for `source` (computed on first use).
+  const WidestPathTree& tree(HostIndex source);
+
+  /// Drop every memoized tree (call after AdjacencyView::update).
+  void invalidate();
+
+  std::size_t hits() const { return hits_; }
+  std::size_t misses() const { return misses_; }
+
+ private:
+  const AdjacencyView* view_;
+  std::vector<std::unique_ptr<WidestPathTree>> trees_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+/// Single-source widest paths over an adjacency view.
+WidestPathTree widest_paths(const AdjacencyView& view, HostIndex source);
 
 /// Single-source widest paths over an explicit capacity matrix
 /// (capacity[u][v] <= 0 means "no usable edge").

@@ -213,6 +213,17 @@ AdaptationOutcome VirtuosoSystem::adapt_now(AdaptationAlgorithm algorithm) {
       eval = sa.best_evaluation;
       break;
     }
+    case AdaptationAlgorithm::kMultiStartAnnealing: {
+      auto gh = vadapt::greedy_heuristic(graph, demands, n_vms, config_.objective);
+      vadapt::MultiStartParams ms = config_.multistart;
+      ms.annealing = config_.annealing;
+      ms.seed = rng_service_.seed_for("vadapt.multistart");
+      auto result = vadapt::multi_start_annealing(graph, demands, n_vms, config_.objective, ms,
+                                                  std::move(gh.configuration));
+      conf = std::move(result.best.best);
+      eval = result.best.best_evaluation;
+      break;
+    }
   }
 
   AdaptationOutcome outcome;

@@ -14,6 +14,7 @@
 #include "transport/stack.hpp"
 #include "vadapt/annealing.hpp"
 #include "vadapt/greedy.hpp"
+#include "vadapt/multistart.hpp"
 #include "vadapt/problem.hpp"
 #include "vadapt/reservations.hpp"
 #include "vm/machine.hpp"
@@ -41,9 +42,10 @@
 namespace vw::virtuoso {
 
 enum class AdaptationAlgorithm {
-  kGreedy,           ///< GH
-  kAnnealing,        ///< SA from a random start
-  kAnnealingGreedy,  ///< SA+GH (+B best-so-far is always tracked)
+  kGreedy,              ///< GH
+  kAnnealing,           ///< SA from a random start
+  kAnnealingGreedy,     ///< SA+GH (+B best-so-far is always tracked)
+  kMultiStartAnnealing, ///< K parallel SA chains, chain 0 seeded with GH
 };
 
 struct SystemConfig {
@@ -53,6 +55,9 @@ struct SystemConfig {
   SimTime wren_report_period = seconds(1.0);
   vadapt::Objective objective;
   vadapt::AnnealingParams annealing;
+  /// kMultiStartAnnealing settings; `annealing` above and a seed derived
+  /// from `seed` are filled in at adaptation time.
+  vadapt::MultiStartParams multistart;
   vm::MigrationParams migration;
   std::uint64_t seed = 42;
   /// Capacity assumed for daemon pairs Wren has not yet measured.

@@ -1,0 +1,363 @@
+// Differential tests for the incremental VADAPT optimizer core:
+//  * IncrementalEvaluator vs from-scratch evaluate() over long randomized
+//    perturbation walks (path and mapping moves) — bit-exact by design,
+//    asserted both exactly and at the 1e-9 contract tolerance;
+//  * simulated_annealing incremental mode vs the full-rescore reference —
+//    bit-identical optimizer decisions from the same seed;
+//  * multi-start determinism: K chains on a thread pool reproduce the
+//    single-thread merge for the same seed set;
+//  * the thread pool itself, and the trace_stride == 0 contract.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "topo/testbed.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+#include "vadapt/annealing.hpp"
+#include "vadapt/greedy.hpp"
+#include "vadapt/incremental.hpp"
+#include "vadapt/multistart.hpp"
+#include "vadapt/problem.hpp"
+
+namespace vw::vadapt {
+namespace {
+
+CapacityGraph random_graph(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<net::NodeId> hosts(n);
+  for (std::size_t i = 0; i < n; ++i) hosts[i] = static_cast<net::NodeId>(i);
+  CapacityGraph g(hosts);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      g.set_bandwidth(i, j, rng.uniform(5e6, 500e6));
+      g.set_latency(i, j, rng.uniform(0.0001, 0.02));
+    }
+  }
+  return g;
+}
+
+std::vector<Demand> mixed_demands(std::size_t n_vms, Rng& rng) {
+  std::vector<Demand> demands;
+  for (std::size_t i = 0; i < n_vms; ++i) {
+    demands.push_back({i, (i + 1) % n_vms, rng.uniform(1e6, 60e6)});
+  }
+  demands.push_back({0, n_vms / 2, rng.uniform(1e6, 60e6)});  // shared-edge pressure
+  demands.push_back({n_vms - 1, 1, rng.uniform(1e6, 60e6)});
+  return demands;
+}
+
+// A randomized single-path perturbation mirroring the annealer's move set,
+// built only from public state.
+Path perturb_path(const Path& path, std::size_t n_hosts, Rng& rng) {
+  Path out = path;
+  const double u = rng.uniform(0.0, 3.0);
+  if (u < 1.0 && out.size() < n_hosts) {
+    std::vector<char> on_path(n_hosts, 0);
+    for (HostIndex h : out) on_path[h] = 1;
+    std::vector<HostIndex> pool;
+    for (HostIndex h = 0; h < n_hosts; ++h) {
+      if (!on_path[h]) pool.push_back(h);
+    }
+    if (!pool.empty()) {
+      const HostIndex v = pool[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(pool.size()) - 1))];
+      const auto pos = static_cast<std::size_t>(
+          rng.uniform_int(1, static_cast<std::int64_t>(out.size()) - 1));
+      out.insert(out.begin() + static_cast<std::ptrdiff_t>(pos), v);
+    }
+  } else if (u < 2.0 && out.size() > 2) {
+    const auto pos = static_cast<std::size_t>(
+        rng.uniform_int(1, static_cast<std::int64_t>(out.size()) - 2));
+    out.erase(out.begin() + static_cast<std::ptrdiff_t>(pos));
+  } else if (out.size() > 3) {
+    const auto x = static_cast<std::size_t>(
+        rng.uniform_int(1, static_cast<std::int64_t>(out.size()) - 2));
+    auto y = static_cast<std::size_t>(
+        rng.uniform_int(1, static_cast<std::int64_t>(out.size()) - 2));
+    if (x == y) y = 1 + (y - 1 + 1) % (out.size() - 2);
+    std::swap(out[x], out[y]);
+  }
+  return out;
+}
+
+void run_differential_walk(const Objective& objective, std::uint64_t seed,
+                           std::size_t iterations) {
+  const std::size_t n_hosts = 12;
+  const std::size_t n_vms = 6;
+  const CapacityGraph graph = random_graph(n_hosts, seed);
+  Rng rng(seed * 7 + 1);
+  const std::vector<Demand> demands = mixed_demands(n_vms, rng);
+
+  IncrementalEvaluator ev(graph, demands, objective);
+  ev.reset(random_configuration(graph, demands, n_vms, rng));
+
+  std::size_t mapping_moves = 0;
+  std::size_t path_moves = 0;
+  for (std::size_t iter = 0; iter < iterations; ++iter) {
+    if (rng.chance(0.05)) {
+      // Mapping move: fresh random configuration, full rescore.
+      ev.reset(random_configuration(graph, demands, n_vms, rng));
+      ++mapping_moves;
+    } else {
+      const auto d = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(demands.size()) - 1));
+      ev.set_path(d, perturb_path(ev.configuration().paths[d], n_hosts, rng));
+      ++path_moves;
+    }
+
+    const Evaluation full = evaluate(graph, demands, ev.configuration(), objective);
+    const Evaluation& inc = ev.evaluation();
+    // Contract tolerance from the issue...
+    ASSERT_NEAR(inc.cost, full.cost, 1e-9 * std::max(1.0, std::abs(full.cost)))
+        << "iteration " << iter;
+    ASSERT_NEAR(inc.min_residual_bps, full.min_residual_bps,
+                1e-9 * std::max(1.0, std::abs(full.min_residual_bps)))
+        << "iteration " << iter;
+    // ...and the stronger bit-exactness the implementation guarantees.
+    ASSERT_EQ(inc.cost, full.cost) << "cost drifted at iteration " << iter;
+    ASSERT_EQ(inc.min_residual_bps, full.min_residual_bps)
+        << "min residual drifted at iteration " << iter;
+    ASSERT_EQ(inc.feasible, full.feasible) << "iteration " << iter;
+  }
+  EXPECT_GT(mapping_moves, 0u);
+  EXPECT_GT(path_moves, iterations / 2);
+}
+
+TEST(IncrementalEvaluatorTest, RandomWalkMatchesFullEvaluateEq1) {
+  run_differential_walk(Objective{}, 17, 6000);
+}
+
+TEST(IncrementalEvaluatorTest, RandomWalkMatchesFullEvaluateEq3) {
+  Objective obj;
+  obj.kind = ObjectiveKind::kResidualBandwidthLatency;
+  obj.latency_weight = 2e5;
+  run_differential_walk(obj, 23, 6000);
+}
+
+TEST(IncrementalEvaluatorTest, RevertRestoresStateExactly) {
+  const CapacityGraph graph = random_graph(8, 3);
+  Rng rng(9);
+  const std::vector<Demand> demands = mixed_demands(4, rng);
+  IncrementalEvaluator ev(graph, demands);
+  ev.reset(random_configuration(graph, demands, 4, rng));
+
+  const Evaluation before = ev.evaluation();
+  const Path original = ev.configuration().paths[1];
+  const Path moved = perturb_path(original, 8, rng);
+  ev.set_path(1, moved);
+  ev.set_path(1, original);  // the annealer's reject-revert
+  EXPECT_EQ(ev.evaluation().cost, before.cost);
+  EXPECT_EQ(ev.evaluation().min_residual_bps, before.min_residual_bps);
+  EXPECT_EQ(ev.configuration().paths[1], original);
+}
+
+TEST(IncrementalEvaluatorTest, TracksSharedEdgeDemands) {
+  // Two demands share edge 1->2; moving one must rescore the other.
+  CapacityGraph g({0, 1, 2, 3});
+  for (HostIndex i = 0; i < 4; ++i) {
+    for (HostIndex j = 0; j < 4; ++j) {
+      if (i != j) g.set_bandwidth(i, j, 100e6);
+    }
+  }
+  const std::vector<Demand> demands{{0, 1, 30e6}, {2, 1, 40e6}};
+  Configuration conf;
+  conf.mapping = {1, 2, 3, 0};  // VM0@h1, VM1@h2, VM2@h3
+  conf.paths = {{1, 2}, {3, 1, 2}};  // both cross 1->2
+  IncrementalEvaluator ev(g, demands);
+  ev.reset(conf);
+  EXPECT_DOUBLE_EQ(ev.residual(1, 2), 100e6 - 70e6);
+  EXPECT_DOUBLE_EQ(ev.bottleneck(0), 30e6);
+
+  // Re-route demand 1 off the shared edge: demand 0's bottleneck recovers.
+  ev.set_path(1, {3, 2});
+  EXPECT_DOUBLE_EQ(ev.residual(1, 2), 70e6);
+  EXPECT_DOUBLE_EQ(ev.bottleneck(0), 70e6);
+  EXPECT_EQ(ev.evaluation().cost,
+            evaluate(g, demands, ev.configuration()).cost);
+}
+
+// --- annealing: incremental vs full-rescore reference ---------------------------
+
+void expect_bit_identical_runs(const CapacityGraph& graph, const std::vector<Demand>& demands,
+                               std::size_t n_vms, const Objective& objective,
+                               std::optional<Configuration> initial, std::uint64_t seed) {
+  AnnealingParams params;
+  params.iterations = 3000;
+  params.trace_stride = 1;
+
+  params.full_rescore = false;
+  const AnnealingResult inc =
+      simulated_annealing(graph, demands, n_vms, objective, params, Rng(seed), initial);
+  params.full_rescore = true;
+  const AnnealingResult full =
+      simulated_annealing(graph, demands, n_vms, objective, params, Rng(seed), initial);
+
+  ASSERT_EQ(inc.trace.size(), full.trace.size());
+  for (std::size_t i = 0; i < inc.trace.size(); ++i) {
+    ASSERT_EQ(inc.trace[i].iteration, full.trace[i].iteration) << "i=" << i;
+    ASSERT_EQ(inc.trace[i].current_cost, full.trace[i].current_cost)
+        << "decision diverged at iteration " << i;
+    ASSERT_EQ(inc.trace[i].best_cost, full.trace[i].best_cost) << "i=" << i;
+  }
+  EXPECT_EQ(inc.best_evaluation.cost, full.best_evaluation.cost);
+  EXPECT_EQ(inc.best.mapping, full.best.mapping);
+  EXPECT_EQ(inc.best.paths, full.best.paths);
+  EXPECT_EQ(inc.final_state.mapping, full.final_state.mapping);
+  EXPECT_EQ(inc.final_state.paths, full.final_state.paths);
+}
+
+TEST(AnnealingDifferentialTest, IncrementalDecisionsMatchFullRescoreBitwise) {
+  const topo::ChallengeScenario sc = topo::make_challenge_scenario();
+  expect_bit_identical_runs(sc.graph, sc.demands, sc.n_vms, Objective{}, std::nullopt, 101);
+}
+
+TEST(AnnealingDifferentialTest, SeededChainMatchesWithLatencyObjective) {
+  const topo::ChallengeScenario sc = topo::make_challenge_scenario();
+  const GreedyResult gh = greedy_heuristic(sc.graph, sc.demands, sc.n_vms);
+  Objective obj;
+  obj.kind = ObjectiveKind::kResidualBandwidthLatency;
+  obj.latency_weight = 3e5;
+  expect_bit_identical_runs(sc.graph, sc.demands, sc.n_vms, obj, gh.configuration, 202);
+}
+
+TEST(AnnealingDifferentialTest, RandomGraphMatches) {
+  const CapacityGraph graph = random_graph(10, 77);
+  Rng rng(78);
+  const std::vector<Demand> demands = mixed_demands(5, rng);
+  expect_bit_identical_runs(graph, demands, 5, Objective{}, std::nullopt, 303);
+}
+
+TEST(AnnealingTest, TraceStrideZeroViolatesContract) {
+  const topo::ChallengeScenario sc = topo::make_challenge_scenario();
+  AnnealingParams params;
+  params.trace_stride = 0;
+  EXPECT_THROW(simulated_annealing(sc.graph, sc.demands, sc.n_vms, Objective{}, params, Rng(1)),
+               std::invalid_argument);
+}
+
+// --- multi-start ----------------------------------------------------------------
+
+TEST(MultiStartTest, DeterministicAcrossThreadCounts) {
+  const CapacityGraph graph = random_graph(16, 5);
+  Rng rng(6);
+  const std::vector<Demand> demands = mixed_demands(6, rng);
+
+  MultiStartParams params;
+  params.chains = 5;
+  params.seed = 99;
+  params.annealing.iterations = 1500;
+  params.annealing.trace_stride = 1500;
+
+  params.threads = 1;
+  const MultiStartResult sequential =
+      multi_start_annealing(graph, demands, 6, Objective{}, params);
+  params.threads = 4;
+  const MultiStartResult threaded = multi_start_annealing(graph, demands, 6, Objective{}, params);
+
+  EXPECT_EQ(sequential.best_chain, threaded.best_chain);
+  EXPECT_EQ(sequential.best.best_evaluation.cost, threaded.best.best_evaluation.cost);
+  EXPECT_EQ(sequential.best.best.mapping, threaded.best.best.mapping);
+  EXPECT_EQ(sequential.best.best.paths, threaded.best.best.paths);
+  ASSERT_EQ(sequential.chains.size(), threaded.chains.size());
+  for (std::size_t k = 0; k < sequential.chains.size(); ++k) {
+    EXPECT_EQ(sequential.chains[k].seed, threaded.chains[k].seed);
+    EXPECT_EQ(sequential.chains[k].best_evaluation.cost, threaded.chains[k].best_evaluation.cost)
+        << "chain " << k;
+  }
+}
+
+TEST(MultiStartTest, BestIsMaxOverChains) {
+  const CapacityGraph graph = random_graph(12, 41);
+  Rng rng(42);
+  const std::vector<Demand> demands = mixed_demands(5, rng);
+  MultiStartParams params;
+  params.chains = 4;
+  params.threads = 2;
+  params.seed = 7;
+  params.annealing.iterations = 800;
+  params.annealing.trace_stride = 800;
+  const MultiStartResult result = multi_start_annealing(graph, demands, 5, Objective{}, params);
+  ASSERT_EQ(result.chains.size(), 4u);
+  for (const ChainOutcome& chain : result.chains) {
+    EXPECT_LE(chain.best_evaluation.cost, result.best.best_evaluation.cost);
+  }
+  EXPECT_EQ(result.best.best_evaluation.cost,
+            result.chains[result.best_chain].best_evaluation.cost);
+}
+
+TEST(MultiStartTest, SeededNeverWorseThanGreedy) {
+  const topo::ChallengeScenario sc = topo::make_challenge_scenario();
+  const GreedyResult gh = greedy_heuristic(sc.graph, sc.demands, sc.n_vms);
+  MultiStartParams params;
+  params.chains = 3;
+  params.threads = 3;
+  params.seed = 11;
+  params.annealing.iterations = 2000;
+  params.annealing.trace_stride = 2000;
+  const MultiStartResult result =
+      multi_start_annealing(sc.graph, sc.demands, sc.n_vms, Objective{}, params,
+                            gh.configuration);
+  EXPECT_GE(result.best.best_evaluation.cost, gh.evaluation.cost);
+  for (const Path& p : result.best.best.paths) {
+    EXPECT_TRUE(valid_path(p, result.best.best,
+                           sc.demands[static_cast<std::size_t>(&p - result.best.best.paths.data())],
+                           sc.graph.size()));
+  }
+}
+
+TEST(MultiStartTest, RequiresAtLeastOneChain) {
+  const CapacityGraph graph = random_graph(4, 1);
+  MultiStartParams params;
+  params.chains = 0;
+  EXPECT_THROW(multi_start_annealing(graph, {}, 2, Objective{}, params),
+               std::invalid_argument);
+}
+
+// --- thread pool ----------------------------------------------------------------
+
+TEST(ThreadPoolTest, RunsEveryTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPoolTest, WaitIdleIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.submit([&count] { count.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 1);
+  pool.submit([&count] { count.fetch_add(1); });
+  pool.submit([&count] { count.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 3);
+}
+
+// --- hashed host lookup ---------------------------------------------------------
+
+TEST(CapacityGraphTest, IndexOfHashedLookup) {
+  CapacityGraph g({40, 10, 30});
+  EXPECT_EQ(g.index_of(40), std::optional<HostIndex>(0));
+  EXPECT_EQ(g.index_of(10), std::optional<HostIndex>(1));
+  EXPECT_EQ(g.index_of(30), std::optional<HostIndex>(2));
+  EXPECT_EQ(g.index_of(99), std::nullopt);
+}
+
+TEST(CapacityGraphTest, IndexOfDuplicateKeepsFirst) {
+  CapacityGraph g({7, 7, 9});
+  EXPECT_EQ(g.index_of(7), std::optional<HostIndex>(0));
+}
+
+}  // namespace
+}  // namespace vw::vadapt

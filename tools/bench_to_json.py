@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Run the micro_vadapt_incremental benchmark and emit BENCH_vadapt.json.
+
+Wraps the google-benchmark binary's JSON reporter and derives the numbers
+the PR's acceptance criterion is stated in: SA-iteration throughput
+(items_per_second) for the full-rescore and incremental evaluation
+backends at n_hosts=32 / n_vms=8, and their ratio. Both variants drive the
+annealer with the identical RNG stream and make bit-identical decisions
+(tests/vadapt_incremental_test.cpp proves this), so the ratio is a pure
+cost-structure speedup.
+
+Usage:
+    tools/bench_to_json.py [--build-dir build] [--output BENCH_vadapt.json]
+                           [--quick]
+
+Only the standard library is used.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+
+def run_benchmark(binary: str, quick: bool) -> dict:
+    cmd = [binary, "--benchmark_format=json"]
+    if quick:
+        cmd.append("--benchmark_min_time=0.05")
+    proc = subprocess.run(cmd, stdout=subprocess.PIPE, check=True)
+    return json.loads(proc.stdout)
+
+
+def git_revision() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            check=True,
+        )
+        return out.stdout.decode().strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def items_per_second(benchmarks: list, name: str) -> float:
+    for b in benchmarks:
+        if b.get("name") == name and b.get("run_type", "iteration") == "iteration":
+            return float(b.get("items_per_second", 0.0))
+    raise KeyError(f"benchmark {name!r} not found in report")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument("--output", default="BENCH_vadapt.json")
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="short timing windows (CI smoke); numbers are noisier",
+    )
+    args = parser.parse_args()
+
+    binary = os.path.join(args.build_dir, "bench", "micro_vadapt_incremental")
+    if not os.path.exists(binary):
+        print(f"error: {binary} not found (build the repo first)", file=sys.stderr)
+        return 1
+
+    report = run_benchmark(binary, args.quick)
+    benchmarks = report.get("benchmarks", [])
+
+    def variant(prefix: str) -> dict:
+        full = items_per_second(benchmarks, f"{prefix}/full")
+        incremental = items_per_second(benchmarks, f"{prefix}/incremental")
+        return {
+            "full_rescore_iters_per_sec": full,
+            "incremental_iters_per_sec": incremental,
+            "speedup": incremental / full if full > 0 else None,
+        }
+
+    result = {
+        "bench": "micro_vadapt_incremental",
+        "git_revision": git_revision(),
+        "quick": args.quick,
+        "problem": {"n_hosts": 32, "n_vms": 8, "demands": "8-VM ring @ 20 Mb/s"},
+        "sa_iteration_throughput": {
+            "residual_bw_eq1": variant("BM_AnnealingIteration"),
+            "residual_bw_latency_eq3": variant("BM_AnnealingIterationEq3"),
+        },
+        "context": report.get("context", {}),
+        "benchmarks": benchmarks,
+    }
+
+    with open(args.output, "w", encoding="utf-8") as fh:
+        json.dump(result, fh, indent=2)
+        fh.write("\n")
+
+    for key, v in result["sa_iteration_throughput"].items():
+        speedup = v["speedup"]
+        print(
+            f"{key}: full={v['full_rescore_iters_per_sec']:.3g} it/s, "
+            f"incremental={v['incremental_iters_per_sec']:.3g} it/s, "
+            f"speedup={speedup:.2f}x"
+        )
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
