@@ -11,23 +11,88 @@
 //   5. migrates the VMs and re-routes the overlay,
 // and the application's delivered throughput improves.
 //
-//   $ ./examples/adaptive_cluster
+//   $ ./examples/adaptive_cluster [options]
+//
+// Telemetry options (the system-wide metrics registry + event tracer):
+//   --metrics-json FILE    export the final metrics snapshot as JSON
+//   --metrics-csv FILE     export the final metrics snapshot as CSV
+//   --trace FILE           export Chrome trace_event JSON (about:tracing)
+//   --events-jsonl FILE    export the trace events as JSONL
+//   --no-telemetry         disable the observability subsystem entirely
 
+#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <string>
 
+#include "obs/export.hpp"
+#include "soap/telemetry.hpp"
 #include "topo/testbed.hpp"
 #include "virtuoso/system.hpp"
 #include "vm/apps.hpp"
 
 using namespace vw;
 
-int main() {
+namespace {
+
+struct Options {
+  std::string metrics_json;
+  std::string metrics_csv;
+  std::string trace;
+  std::string events_jsonl;
+  bool telemetry = true;
+};
+
+Options parse_options(int argc, char** argv) {
+  Options opt;
+  auto need_value = [&](int i) -> std::string {
+    if (i + 1 >= argc) {
+      std::cerr << argv[i] << " requires a file argument\n";
+      std::exit(2);
+    }
+    return argv[i + 1];
+  };
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics-json") == 0) {
+      opt.metrics_json = need_value(i++);
+    } else if (std::strcmp(argv[i], "--metrics-csv") == 0) {
+      opt.metrics_csv = need_value(i++);
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      opt.trace = need_value(i++);
+    } else if (std::strcmp(argv[i], "--events-jsonl") == 0) {
+      opt.events_jsonl = need_value(i++);
+    } else if (std::strcmp(argv[i], "--no-telemetry") == 0) {
+      opt.telemetry = false;
+    } else {
+      std::cerr << "unknown option: " << argv[i] << "\n";
+      std::exit(2);
+    }
+  }
+  return opt;
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot open " << path << " for writing\n";
+    std::exit(1);
+  }
+  out << content;
+  std::cout << "wrote " << path << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse_options(argc, argv);
+
   sim::Simulator sim;
   topo::ChallengeNetwork tb = topo::make_challenge_network(sim);
 
   virtuoso::SystemConfig config;
   config.annealing.iterations = 3000;
   config.multistart.chains = 4;  // chain 0 seeded with GH, 3 random restarts
+  config.telemetry = opt.telemetry;
   virtuoso::VirtuosoSystem system(sim, *tb.network, config);
 
   bool first = true;
@@ -98,5 +163,30 @@ int main() {
     std::cout << "  " << name << " on " << tb.network->node(machine->host()).name << "\n";
   }
   std::cout << "speedup: " << after_mbps / before_mbps << "x\n";
+
+  // Telemetry report: query the registry through the SOAP endpoint (the
+  // same path an external monitoring client would use) and print the
+  // adaptation-relevant counters, then export whatever was requested.
+  if (opt.telemetry) {
+    const soap::TelemetryClient client(system.registry(),
+                                       virtuoso::VirtuosoSystem::kTelemetryEndpoint);
+    std::cout << "\n";
+    obs::write_text_table(std::cout, client.query_metrics("vadapt"));
+    obs::write_text_table(std::cout, client.query_metrics("virtuoso"));
+
+    const obs::MetricsSnapshot full = system.metrics()->snapshot();
+    if (!opt.metrics_json.empty()) write_file(opt.metrics_json, obs::metrics_json(full));
+    if (!opt.metrics_csv.empty()) {
+      std::ofstream out(opt.metrics_csv);
+      obs::write_csv(out, full);
+      std::cout << "wrote " << opt.metrics_csv << "\n";
+    }
+    if (!opt.trace.empty()) {
+      write_file(opt.trace, obs::chrome_trace_json(system.tracer()->events()));
+    }
+    if (!opt.events_jsonl.empty()) {
+      write_file(opt.events_jsonl, obs::events_jsonl(system.tracer()->events()));
+    }
+  }
   return 0;
 }

@@ -1,0 +1,227 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace vw::obs {
+
+namespace {
+
+constexpr std::uint64_t kNaNBits = 0x7ff8000000000000ull;
+
+/// CAS loop folding `x` into a min/max slot stored as double bit patterns.
+/// The slot starts as NaN (empty); the first sample always wins.
+template <typename Better>
+void fold_extreme(std::atomic<std::uint64_t>& slot, double x, Better better) {
+  std::uint64_t cur = slot.load(std::memory_order_relaxed);
+  for (;;) {
+    const double curd = std::bit_cast<double>(cur);
+    if (!std::isnan(curd) && !better(x, curd)) return;
+    if (slot.compare_exchange_weak(cur, std::bit_cast<std::uint64_t>(x),
+                                   std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+// --- Histogram ---------------------------------------------------------------
+
+Histogram::Histogram() : min_bits_(kNaNBits), max_bits_(kNaNBits) {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+std::size_t Histogram::bucket_index(double x) {
+  if (!(x >= 1.0)) return 0;  // [0,1) plus negatives and NaN
+  int exp = 0;
+  std::frexp(x, &exp);  // x = m * 2^exp with m in [0.5, 1)
+  // floor(log2 x) == exp - 1, so x lands in bucket exp: [2^(exp-1), 2^exp).
+  return std::min(static_cast<std::size_t>(exp), kBuckets - 1);
+}
+
+double Histogram::bucket_lower(std::size_t k) {
+  VW_REQUIRE(k < kBuckets, "Histogram::bucket_lower: bucket ", k, " out of range");
+  return k == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(k) - 1);
+}
+
+double Histogram::bucket_upper(std::size_t k) {
+  VW_REQUIRE(k < kBuckets, "Histogram::bucket_upper: bucket ", k, " out of range");
+  return std::ldexp(1.0, static_cast<int>(k));
+}
+
+void Histogram::record(double x) {
+  buckets_[bucket_index(x)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(x, std::memory_order_relaxed);
+  fold_extreme(min_bits_, x, [](double a, double b) { return a < b; });
+  fold_extreme(max_bits_, x, [](double a, double b) { return a > b; });
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot snap;
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.min = std::bit_cast<double>(min_bits_.load(std::memory_order_relaxed));
+  snap.max = std::bit_cast<double>(max_bits_.load(std::memory_order_relaxed));
+  for (std::size_t k = 0; k < kBuckets; ++k) {
+    snap.buckets[k] = buckets_[k].load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_bits_.store(kNaNBits, std::memory_order_relaxed);
+  max_bits_.store(kNaNBits, std::memory_order_relaxed);
+}
+
+double Histogram::Snapshot::quantile(double q) const {
+  if (count == 0) return std::numeric_limits<double>::quiet_NaN();
+  // The endpoints are order statistics we track exactly.
+  if (q <= 0.0) return min;
+  if (q >= 1.0) return max;
+  // Rank of the requested sample among `count` sorted observations.
+  const double rank = q * static_cast<double>(count - 1);
+  double before = 0;
+  for (std::size_t k = 0; k < kBuckets; ++k) {
+    const auto in_bucket = static_cast<double>(buckets[k]);
+    if (in_bucket == 0) continue;
+    if (rank < before + in_bucket) {
+      // Linear interpolation across the covering bucket's span.
+      const double frac = (rank - before + 0.5) / in_bucket;
+      double lo = bucket_lower(k);
+      double hi = bucket_upper(k);
+      // The observed extremes bound the distribution tighter than the
+      // bucket edges do.
+      if (!std::isnan(min)) lo = std::max(lo, min);
+      if (!std::isnan(max)) hi = std::min(hi, max);
+      if (hi < lo) hi = lo;
+      return lo + frac * (hi - lo);
+    }
+    before += in_bucket;
+  }
+  return max;  // numerically unreachable; satisfies the compiler
+}
+
+// --- registry ----------------------------------------------------------------
+
+std::string_view kind_name(InstrumentKind kind) {
+  switch (kind) {
+    case InstrumentKind::kCounter: return "counter";
+    case InstrumentKind::kGauge: return "gauge";
+    case InstrumentKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+bool valid_metric_name(std::string_view name) {
+  if (name.empty() || name.front() == '.' || name.back() == '.') return false;
+  bool prev_dot = false;
+  for (char c : name) {
+    if (c == '.') {
+      if (prev_dot) return false;
+      prev_dot = true;
+      continue;
+    }
+    prev_dot = false;
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+const MetricValue* MetricsSnapshot::find(std::string_view name) const {
+  for (const MetricValue& m : metrics) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::entry_for(std::string_view name, InstrumentKind kind) {
+  VW_REQUIRE(valid_metric_name(name), "MetricsRegistry: invalid instrument name '", name,
+             "' (want dot-separated [a-z0-9_] runs)");
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry entry;
+    entry.kind = kind;
+    switch (kind) {
+      case InstrumentKind::kCounter: entry.counter = std::make_unique<Counter>(); break;
+      case InstrumentKind::kGauge: entry.gauge = std::make_unique<Gauge>(); break;
+      case InstrumentKind::kHistogram: entry.histogram = std::make_unique<Histogram>(); break;
+    }
+    it = entries_.emplace(std::string(name), std::move(entry)).first;
+  }
+  VW_REQUIRE(it->second.kind == kind, "MetricsRegistry: '", name, "' registered as ",
+             kind_name(it->second.kind), ", requested as ", kind_name(kind));
+  return it->second;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  return *entry_for(name, InstrumentKind::kCounter).counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  return *entry_for(name, InstrumentKind::kGauge).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  return *entry_for(name, InstrumentKind::kHistogram).histogram;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot(std::string_view prefix) const {
+  MetricsSnapshot snap;
+  snap.taken_at = clock_ ? clock_() : 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  snap.metrics.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    if (!prefix.empty()) {
+      const bool exact = name == prefix;
+      const bool child = name.size() > prefix.size() && name.compare(0, prefix.size(), prefix) == 0 &&
+                         name[prefix.size()] == '.';
+      if (!exact && !child) continue;
+    }
+    MetricValue v;
+    v.name = name;
+    v.kind = entry.kind;
+    switch (entry.kind) {
+      case InstrumentKind::kCounter:
+        v.count = entry.counter->value();
+        break;
+      case InstrumentKind::kGauge:
+        v.value = entry.gauge->value();
+        break;
+      case InstrumentKind::kHistogram:
+        v.histogram = entry.histogram->snapshot();
+        v.count = v.histogram.count;
+        break;
+    }
+    snap.metrics.push_back(std::move(v));
+  }
+  return snap;  // std::map iteration keeps this sorted by name
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, entry] : entries_) {
+    switch (entry.kind) {
+      case InstrumentKind::kCounter: entry.counter->reset(); break;
+      case InstrumentKind::kGauge: entry.gauge->reset(); break;
+      case InstrumentKind::kHistogram: entry.histogram->reset(); break;
+    }
+  }
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace vw::obs

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+// The handle instrumented subsystems hold: two nullable pointers. A
+// default-constructed Scope is "telemetry off" — instrument resolution
+// returns nullptr and the null-tolerant helpers below compile down to a
+// single branch, so disabled instrumentation costs nothing measurable on
+// hot paths. Subsystems resolve instruments once in set_obs()/wiring code
+// (cold) and keep the raw pointers.
+
+namespace vw::obs {
+
+struct Scope {
+  MetricsRegistry* metrics = nullptr;
+  EventTracer* tracer = nullptr;
+
+  bool enabled() const { return metrics != nullptr || tracer != nullptr; }
+
+  /// Instrument resolution; nullptr when the scope is disabled.
+  Counter* counter(std::string_view name) const {
+    return metrics != nullptr ? &metrics->counter(name) : nullptr;
+  }
+  Gauge* gauge(std::string_view name) const {
+    return metrics != nullptr ? &metrics->gauge(name) : nullptr;
+  }
+  Histogram* histogram(std::string_view name) const {
+    return metrics != nullptr ? &metrics->histogram(name) : nullptr;
+  }
+
+  /// An inert Span when tracing is disabled.
+  EventTracer::Span span(std::string name, std::string category) const {
+    return tracer != nullptr ? tracer->span(std::move(name), std::move(category))
+                             : EventTracer::Span();
+  }
+  void instant(std::string name, std::string category, EventTracer::Args args = {}) const {
+    if (tracer != nullptr) tracer->instant(std::move(name), std::move(category), std::move(args));
+  }
+};
+
+/// Null-tolerant instrument updates (the hot-path idiom).
+inline void add(Counter* c, std::uint64_t n = 1) {
+  if (c != nullptr) c->add(n);
+}
+inline void set(Gauge* g, double v) {
+  if (g != nullptr) g->set(v);
+}
+inline void record(Histogram* h, double x) {
+  if (h != nullptr) h->record(x);
+}
+
+}  // namespace vw::obs

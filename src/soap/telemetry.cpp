@@ -1,0 +1,208 @@
+#include "soap/telemetry.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace vw::soap {
+
+namespace {
+
+std::string fmt(double v) {
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  return std::string(buf, ptr);
+}
+
+std::uint64_t parse_u64(const std::string& s) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) {
+    throw std::invalid_argument("bad unsigned integer: " + s);
+  }
+  return value;
+}
+
+double parse_double(const std::string& s) {
+  std::size_t pos = 0;
+  const double v = std::stod(s, &pos);
+  if (pos != s.size()) throw std::invalid_argument("bad number: " + s);
+  return v;
+}
+
+obs::InstrumentKind parse_kind(const std::string& s) {
+  if (s == "counter") return obs::InstrumentKind::kCounter;
+  if (s == "gauge") return obs::InstrumentKind::kGauge;
+  if (s == "histogram") return obs::InstrumentKind::kHistogram;
+  throw std::invalid_argument("bad instrument kind: " + s);
+}
+
+/// Attribute lookup that reads as a double, with `fallback` when absent
+/// (omitted attributes encode "no data", e.g. an empty histogram's min).
+double attr_double(const XmlNode& node, const std::string& key, double fallback) {
+  auto it = node.attributes.find(key);
+  return it == node.attributes.end() ? fallback : parse_double(it->second);
+}
+
+}  // namespace
+
+TelemetryService::TelemetryService(RpcRegistry& registry, obs::MetricsRegistry& metrics,
+                                   obs::EventTracer* tracer, std::string endpoint)
+    : registry_(registry), metrics_(metrics), tracer_(tracer), endpoint_(std::move(endpoint)) {
+  registry_.register_method(endpoint_, "QueryMetrics",
+                            [this](const XmlNode& r) { return handle_query_metrics(r); });
+  registry_.register_method(endpoint_, "StreamEvents",
+                            [this](const XmlNode& r) { return handle_stream_events(r); });
+}
+
+TelemetryService::~TelemetryService() { registry_.unregister_endpoint(endpoint_); }
+
+XmlNode TelemetryService::handle_query_metrics(const XmlNode& request) const {
+  const obs::MetricsSnapshot snap = metrics_.snapshot(request.child_text("prefix"));
+  XmlNode resp;
+  resp.name = "QueryMetricsResponse";
+  resp.attributes["taken_at_ns"] = std::to_string(snap.taken_at);
+  for (const obs::MetricValue& m : snap.metrics) {
+    XmlNode& node = resp.add_child("metric");
+    node.attributes["name"] = m.name;
+    node.attributes["kind"] = std::string(obs::kind_name(m.kind));
+    switch (m.kind) {
+      case obs::InstrumentKind::kCounter:
+        node.attributes["count"] = std::to_string(m.count);
+        break;
+      case obs::InstrumentKind::kGauge:
+        node.attributes["value"] = fmt(m.value);
+        break;
+      case obs::InstrumentKind::kHistogram: {
+        const obs::Histogram::Snapshot& h = m.histogram;
+        node.attributes["count"] = std::to_string(h.count);
+        node.attributes["sum"] = fmt(h.sum);
+        if (h.count > 0) {
+          // Empty histograms omit the extremes entirely — an explicit "no
+          // data" is better than a NaN token crossing the wire.
+          node.attributes["min"] = fmt(h.min);
+          node.attributes["max"] = fmt(h.max);
+        }
+        for (std::size_t k = 0; k < obs::Histogram::kBuckets; ++k) {
+          if (h.buckets[k] == 0) continue;
+          XmlNode& bucket = node.add_child("bucket");
+          bucket.attributes["index"] = std::to_string(k);
+          bucket.attributes["count"] = std::to_string(h.buckets[k]);
+        }
+        break;
+      }
+    }
+  }
+  return resp;
+}
+
+XmlNode TelemetryService::handle_stream_events(const XmlNode& request) const {
+  if (tracer_ == nullptr) {
+    throw std::runtime_error("telemetry endpoint has no event tracer attached");
+  }
+  const std::string since_text = request.child_text("since");
+  const std::uint64_t since = since_text.empty() ? 0 : parse_u64(since_text);
+  const std::string max_text = request.child_text("max");
+  const std::size_t max_events = max_text.empty() ? 1024 : parse_u64(max_text);
+
+  const auto [events, last_id] = tracer_->events_since(since, max_events);
+  XmlNode resp;
+  resp.name = "StreamEventsResponse";
+  resp.attributes["last_id"] = std::to_string(last_id);
+  for (const obs::TraceEvent& ev : events) {
+    XmlNode& node = resp.add_child("event");
+    node.attributes["id"] = std::to_string(ev.id);
+    node.attributes["ts"] = std::to_string(ev.ts);
+    node.attributes["dur"] = std::to_string(ev.dur);
+    node.attributes["ph"] = std::string(1, static_cast<char>(ev.phase));
+    node.attributes["name"] = ev.name;
+    node.attributes["cat"] = ev.category;
+    for (const auto& [key, value] : ev.args) {
+      XmlNode& arg = node.add_child("arg");
+      arg.attributes["key"] = key;
+      arg.attributes["value"] = value;
+    }
+  }
+  return resp;
+}
+
+TelemetryClient::TelemetryClient(const RpcRegistry& registry, std::string endpoint)
+    : registry_(registry), endpoint_(std::move(endpoint)) {}
+
+obs::MetricsSnapshot TelemetryClient::query_metrics(const std::string& prefix) const {
+  XmlNode request;
+  request.name = "QueryMetrics";
+  if (!prefix.empty()) request.add_text_child("prefix", prefix);
+  const XmlNode resp = registry_.call(endpoint_, "QueryMetrics", request);
+
+  obs::MetricsSnapshot snap;
+  snap.taken_at = static_cast<SimTime>(parse_u64(resp.attributes.at("taken_at_ns")));
+  constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+  for (const XmlNode& node : resp.children) {
+    if (node.name != "metric") continue;
+    obs::MetricValue m;
+    m.name = node.attributes.at("name");
+    m.kind = parse_kind(node.attributes.at("kind"));
+    switch (m.kind) {
+      case obs::InstrumentKind::kCounter:
+        m.count = parse_u64(node.attributes.at("count"));
+        break;
+      case obs::InstrumentKind::kGauge:
+        m.value = parse_double(node.attributes.at("value"));
+        break;
+      case obs::InstrumentKind::kHistogram: {
+        m.histogram.count = parse_u64(node.attributes.at("count"));
+        m.histogram.sum = attr_double(node, "sum", 0.0);
+        m.histogram.min = attr_double(node, "min", kNaN);
+        m.histogram.max = attr_double(node, "max", kNaN);
+        for (const XmlNode& bucket : node.children) {
+          if (bucket.name != "bucket") continue;
+          const std::size_t index = parse_u64(bucket.attributes.at("index"));
+          VW_REQUIRE(index < obs::Histogram::kBuckets,
+                     "QueryMetrics: bucket index ", index, " out of range");
+          m.histogram.buckets[index] = parse_u64(bucket.attributes.at("count"));
+        }
+        m.count = m.histogram.count;
+        break;
+      }
+    }
+    snap.metrics.push_back(std::move(m));
+  }
+  return snap;
+}
+
+std::pair<std::vector<obs::TraceEvent>, std::uint64_t> TelemetryClient::stream_events(
+    std::uint64_t since, std::size_t max_events) const {
+  XmlNode request;
+  request.name = "StreamEvents";
+  request.add_text_child("since", std::to_string(since));
+  request.add_text_child("max", std::to_string(max_events));
+  const XmlNode resp = registry_.call(endpoint_, "StreamEvents", request);
+
+  std::pair<std::vector<obs::TraceEvent>, std::uint64_t> out;
+  out.second = parse_u64(resp.attributes.at("last_id"));
+  for (const XmlNode& node : resp.children) {
+    if (node.name != "event") continue;
+    obs::TraceEvent ev;
+    ev.id = parse_u64(node.attributes.at("id"));
+    ev.ts = static_cast<SimTime>(parse_u64(node.attributes.at("ts")));
+    ev.dur = static_cast<SimTime>(parse_u64(node.attributes.at("dur")));
+    const std::string& ph = node.attributes.at("ph");
+    VW_REQUIRE(ph.size() == 1 && (ph[0] == 'X' || ph[0] == 'i'),
+               "StreamEvents: unknown event phase '", ph, "'");
+    ev.phase = static_cast<obs::EventPhase>(ph[0]);
+    ev.name = node.attributes.at("name");
+    ev.category = node.attributes.at("cat");
+    for (const XmlNode& arg : node.children) {
+      if (arg.name != "arg") continue;
+      ev.args.emplace_back(arg.attributes.at("key"), arg.attributes.at("value"));
+    }
+    out.first.push_back(std::move(ev));
+  }
+  return out;
+}
+
+}  // namespace vw::soap

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "soap/rpc.hpp"
+
+// The telemetry SOAP surface — the system observing itself through the same
+// RPC path the paper mandates for Wren's measurements:
+//
+//   QueryMetrics(prefix?)          -> snapshot of matching instruments
+//   StreamEvents(since, max?)      -> trace events with monotone ids, so
+//                                     clients page the stream incrementally
+//                                     (same contract as Wren's
+//                                     GetObservations)
+//
+// Every call round-trips through real XML envelopes via RpcRegistry.
+
+namespace vw::soap {
+
+class TelemetryService {
+ public:
+  /// `tracer` may be null (StreamEvents then faults with Client.NoTracer).
+  TelemetryService(RpcRegistry& registry, obs::MetricsRegistry& metrics,
+                   obs::EventTracer* tracer, std::string endpoint);
+  ~TelemetryService();
+
+  TelemetryService(const TelemetryService&) = delete;
+  TelemetryService& operator=(const TelemetryService&) = delete;
+
+  const std::string& endpoint() const { return endpoint_; }
+
+ private:
+  XmlNode handle_query_metrics(const XmlNode& request) const;
+  XmlNode handle_stream_events(const XmlNode& request) const;
+
+  RpcRegistry& registry_;
+  obs::MetricsRegistry& metrics_;
+  obs::EventTracer* tracer_;
+  std::string endpoint_;
+};
+
+/// Client-side wrapper: re-materializes the snapshot / event batch from the
+/// XML response.
+class TelemetryClient {
+ public:
+  TelemetryClient(const RpcRegistry& registry, std::string endpoint);
+
+  /// Matching instruments (all when `prefix` is empty).
+  obs::MetricsSnapshot query_metrics(const std::string& prefix = {}) const;
+
+  /// Events with id > since and the cursor for the next call.
+  std::pair<std::vector<obs::TraceEvent>, std::uint64_t> stream_events(
+      std::uint64_t since, std::size_t max_events = 1024) const;
+
+ private:
+  const RpcRegistry& registry_;
+  std::string endpoint_;
+};
+
+}  // namespace vw::soap

@@ -14,6 +14,13 @@ TransportStack::TransportStack(net::Network& network) : network_(network) {
 
 TransportStack::~TransportStack() = default;
 
+void TransportStack::set_obs(const obs::Scope& scope) {
+  c_tcp_connections_ = scope.counter("transport.tcp.connections");
+  c_tcp_segments_ = scope.counter("transport.tcp.segments.sent");
+  c_tcp_retransmits_ = scope.counter("transport.tcp.retransmits");
+  c_udp_datagrams_ = scope.counter("transport.udp.datagrams");
+}
+
 void TransportStack::ensure_host_hooked(net::NodeId host) {
   if (host >= host_hooked_.size()) host_hooked_.resize(host + 1, false);
   if (host_hooked_[host]) return;
@@ -91,6 +98,7 @@ TcpConnection& TransportStack::tcp_connect(net::NodeId src_host, net::NodeId dst
   TcpConnection* client = conn.get();
   owned_connections_.push_back(std::move(conn));
   register_tcp(key, client);
+  obs::add(c_tcp_connections_);
   client->send_syn(/*ack=*/false);
   return *client;
 }

@@ -7,6 +7,7 @@
 
 #include "net/network.hpp"
 #include "net/packet.hpp"
+#include "obs/scope.hpp"
 #include "sim/simulator.hpp"
 
 // Per-network transport demultiplexer. Owns the host protocol stacks: every
@@ -74,6 +75,10 @@ class TransportStack {
   /// Bind a UDP socket; destroyed via its own destructor.
   std::shared_ptr<UdpSocket> udp_bind(net::NodeId host, std::uint16_t port);
 
+  /// Attach telemetry (transport.tcp.* / transport.udp.* counters, bumped
+  /// by every connection and socket on this stack).
+  void set_obs(const obs::Scope& scope);
+
  private:
   friend class TcpConnection;
   friend class UdpSocket;
@@ -95,6 +100,10 @@ class TransportStack {
   std::vector<std::unique_ptr<TcpConnection>> owned_connections_;
   std::vector<bool> host_hooked_;
   TcpParams tcp_params_;
+  obs::Counter* c_tcp_connections_ = nullptr;
+  obs::Counter* c_tcp_segments_ = nullptr;
+  obs::Counter* c_tcp_retransmits_ = nullptr;
+  obs::Counter* c_udp_datagrams_ = nullptr;
 };
 
 }  // namespace vw::transport

@@ -209,8 +209,10 @@ void TcpConnection::send_segment(std::uint64_t seq, std::uint32_t len, bool retr
   pkt.seq = seq;
   pkt.payload_bytes = len;
   pkt.header_bytes = kHeaderBytes;
+  obs::add(stack_.c_tcp_segments_);
   if (retransmit) {
     ++retransmissions_;
+    obs::add(stack_.c_tcp_retransmits_);
   } else if (!rtt_sample_pending_) {
     // Karn: only time segments transmitted exactly once.
     rtt_sample_pending_ = true;

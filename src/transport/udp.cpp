@@ -16,6 +16,7 @@ void UdpSocket::send_to(net::NodeId dst, std::uint16_t dst_port, std::uint32_t p
   pkt.seq = next_datagram_id_++;
   pkt.user_data = std::move(data);
   ++sent_;
+  obs::add(stack_.c_udp_datagrams_);
   stack_.network().send(std::move(pkt));
 }
 

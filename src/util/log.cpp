@@ -20,10 +20,18 @@ constexpr std::string_view level_name(LogLevel level) {
 
 void Logger::log(LogLevel level, std::string_view component, std::string_view message) {
   if (!enabled(level)) return;
+  // Format the full line first so the sink sees exactly one write per call;
+  // interleaving from concurrent loggers is then impossible by construction.
+  std::ostringstream line;
   if (clock_) {
-    *sink_ << '[' << std::fixed << std::setprecision(6) << to_seconds(clock_()) << "s] ";
+    line << '[' << std::fixed << std::setprecision(6) << to_seconds(clock_()) << "s] ";
   }
-  *sink_ << level_name(level) << ' ' << component << ": " << message << '\n';
+  line << level_name(level) << ' ' << component << ": " << message << '\n';
+  const std::string text = line.str();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sink_->write(text.data(), static_cast<std::streamsize>(text.size()));
+  }
 }
 
 }  // namespace vw

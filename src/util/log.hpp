@@ -1,6 +1,7 @@
 #pragma once
 
 #include <functional>
+#include <mutex>
 #include <ostream>
 #include <sstream>
 #include <string>
@@ -11,6 +12,11 @@
 // Lightweight leveled logger. Components log through a Logger reference that
 // the owning system wires to the simulator clock, so log lines carry virtual
 // timestamps without the components depending on the simulator.
+//
+// Thread safety: log() formats each line off to the side and appends it to
+// the sink as a single write under an internal mutex, so concurrent callers
+// (e.g. MultiStartAnnealer worker chains sharing one logger) never interleave
+// characters or race on the stream state.
 
 namespace vw {
 
@@ -41,6 +47,7 @@ class Logger {
   std::ostream* sink_;
   LogLevel level_;
   std::function<SimTime()> clock_;
+  std::mutex mu_;  ///< serializes sink writes across threads
 };
 
 /// Convenience formatter: strcat-style message building for log call sites.

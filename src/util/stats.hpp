@@ -2,6 +2,7 @@
 
 #include <cstddef>
 #include <deque>
+#include <limits>
 #include <optional>
 #include <vector>
 
@@ -22,6 +23,9 @@ class RunningStats {
   /// Sample variance (n-1 denominator); 0 when fewer than two samples.
   double variance() const;
   double stddev() const;
+  /// Extremes are NaN until the first sample arrives — a reading of 0.0
+  /// from an empty accumulator would be indistinguishable from a real
+  /// observation of zero, so exporters must treat NaN as "no data".
   double min() const { return min_; }
   double max() const { return max_; }
   double sum() const { return sum_; }
@@ -30,8 +34,8 @@ class RunningStats {
   std::size_t n_ = 0;
   double mean_ = 0.0;
   double m2_ = 0.0;
-  double min_ = 0.0;
-  double max_ = 0.0;
+  double min_ = std::numeric_limits<double>::quiet_NaN();
+  double max_ = std::numeric_limits<double>::quiet_NaN();
   double sum_ = 0.0;
 };
 

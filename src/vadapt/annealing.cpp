@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <numeric>
+#include <string>
 
 #include "util/check.hpp"
 #include "vadapt/incremental.hpp"
@@ -162,6 +164,12 @@ AnnealingResult anneal_loop(const CapacityGraph& graph, const std::vector<Demand
   Path candidate_path;            // perturbed path under consideration
   Configuration previous_conf;    // revert buffer for mapping moves
 
+  // Move statistics stay in locals: the hot loop must not touch atomics.
+  std::uint64_t n_accepted = 0;
+  std::uint64_t n_rejected = 0;
+  std::uint64_t n_mapping_moves = 0;
+  obs::EventTracer::Span run_span = params.obs.span("vadapt.sa", "vadapt");
+
   for (std::size_t iter = 0; iter < params.iterations; ++iter) {
     // --- perturbation function -------------------------------------------
     // One move per iteration: occasionally the VM mapping (full rescore —
@@ -199,6 +207,12 @@ AnnealingResult anneal_loop(const CapacityGraph& graph, const std::vector<Demand
     // --- acceptance --------------------------------------------------------
     const double dE = cand_eval.cost - current_eval.cost;
     const bool accept = dE >= 0 || rng.chance(std::exp(dE / temperature));
+    if (mapping_move) ++n_mapping_moves;
+    if (accept) {
+      ++n_accepted;
+    } else {
+      ++n_rejected;
+    }
     if (accept) {
       current_eval = cand_eval;
       if (current_eval.cost > result.best_evaluation.cost) {
@@ -225,6 +239,18 @@ AnnealingResult anneal_loop(const CapacityGraph& graph, const std::vector<Demand
 
   result.final_state = ev.configuration();
   result.final_evaluation = current_eval;
+
+  if (params.obs.metrics != nullptr) {
+    obs::add(params.obs.counter("vadapt.sa.runs"));
+    obs::add(params.obs.counter("vadapt.sa.iterations"), params.iterations);
+    obs::add(params.obs.counter("vadapt.sa.moves.accepted"), n_accepted);
+    obs::add(params.obs.counter("vadapt.sa.moves.rejected"), n_rejected);
+    obs::add(params.obs.counter("vadapt.sa.moves.mapping"), n_mapping_moves);
+    obs::record(params.obs.histogram("vadapt.sa.best_cost"), result.best_evaluation.cost);
+  }
+  run_span.arg("iterations", std::to_string(params.iterations));
+  run_span.arg("accepted", std::to_string(n_accepted));
+  run_span.end();
   return result;
 }
 

@@ -3,6 +3,7 @@
 #include <optional>
 #include <vector>
 
+#include "obs/scope.hpp"
 #include "util/rng.hpp"
 #include "vadapt/problem.hpp"
 
@@ -39,6 +40,10 @@ struct AnnealingParams {
   /// deltas. Decisions are bit-identical to the incremental mode; used by
   /// differential tests and the BENCH_vadapt micro benches.
   bool full_rescore = false;
+  /// Telemetry (vadapt.sa.* counters + a run span). Disabled by default;
+  /// move statistics accumulate in locals inside the loop and flush once
+  /// per run, so enabling it cannot perturb optimizer decisions or timing.
+  obs::Scope obs;
 };
 
 struct AnnealingTracePoint {

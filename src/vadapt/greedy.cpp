@@ -129,10 +129,12 @@ std::vector<Path> greedy_paths(const CapacityGraph& graph, const std::vector<Dem
 }
 
 GreedyResult greedy_heuristic(const CapacityGraph& graph, const std::vector<Demand>& demands,
-                              std::size_t n_vms, const Objective& objective) {
+                              std::size_t n_vms, const Objective& objective,
+                              const obs::Scope& scope) {
   // One view + tree cache spans both steps: the mapping step fills the cache
   // for every source, and the routing step's first widest-path query (the
   // heaviest demand, before any residual update) reuses it.
+  obs::EventTracer::Span span = scope.span("vadapt.gh", "vadapt");
   AdjacencyView view(graph.bandwidth_matrix());
   WidestPathCache cache(view);
   GreedyResult result;
@@ -140,6 +142,7 @@ GreedyResult greedy_heuristic(const CapacityGraph& graph, const std::vector<Dema
   result.configuration.paths =
       greedy_paths_impl(graph, demands, result.configuration.mapping, view, cache);
   result.evaluation = evaluate(graph, demands, result.configuration, objective);
+  obs::add(scope.counter("vadapt.gh.runs"));
   return result;
 }
 

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "obs/scope.hpp"
 #include "vadapt/problem.hpp"
 
 // The greedy heuristic (GH) of paper §4.2: two sequential steps —
@@ -29,8 +30,10 @@ std::vector<Path> greedy_paths(const CapacityGraph& graph, const std::vector<Dem
                                const std::vector<HostIndex>& mapping);
 
 /// The full heuristic; `objective` only affects the reported evaluation
-/// (GH itself does not consider latency, as the paper notes).
+/// (GH itself does not consider latency, as the paper notes). `scope`
+/// attaches telemetry (vadapt.gh.runs); disabled by default.
 GreedyResult greedy_heuristic(const CapacityGraph& graph, const std::vector<Demand>& demands,
-                              std::size_t n_vms, const Objective& objective = {});
+                              std::size_t n_vms, const Objective& objective = {},
+                              const obs::Scope& scope = {});
 
 }  // namespace vw::vadapt

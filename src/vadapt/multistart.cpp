@@ -77,6 +77,11 @@ MultiStartResult multi_start_annealing(const CapacityGraph& graph,
   out.best_chain = best;
   out.best = std::move(slots[best].result);
   VW_ENSURE(out.chains.size() == params.chains, "multi_start_annealing: chain outcome lost");
+
+  if (params.annealing.obs.metrics != nullptr) {
+    obs::add(params.annealing.obs.counter("vadapt.multistart.runs"));
+    obs::add(params.annealing.obs.counter("vadapt.multistart.chains"), params.chains);
+  }
   return out;
 }
 

@@ -56,11 +56,35 @@ VirtuosoSystem::VirtuosoSystem(sim::Simulator& sim, net::Network& network, Syste
       network_(network),
       config_(config),
       rng_service_(config.seed),
+      metrics_(config.telemetry
+                   ? std::make_unique<obs::MetricsRegistry>([&sim] { return sim.now(); })
+                   : nullptr),
+      tracer_(config.telemetry
+                  ? std::make_unique<obs::EventTracer>(config.trace_capacity,
+                                                       [&sim] { return sim.now(); })
+                  : nullptr),
       stack_(network),
       overlay_(stack_),
       reservation_manager_(network),
       global_vttif_(std::make_unique<vttif::GlobalVttif>(sim, config.vttif)),
-      migration_(sim, network, config.migration) {}
+      migration_(sim, network, config.migration) {
+  if (config_.telemetry) {
+    const obs::Scope s = scope();
+    stack_.set_obs(s);
+    overlay_.set_obs(s);
+    global_vttif_->set_obs(s);
+    migration_.set_obs(s);
+    // Every SA / multistart run launched through this system reports into
+    // the same registry.
+    config_.annealing.obs = s;
+    config_.multistart.annealing.obs = s;
+    c_adaptations_ = s.counter("virtuoso.adaptations");
+    c_migrations_issued_ = s.counter("virtuoso.migrations.issued");
+    c_reservations_granted_ = s.counter("virtuoso.reservations.granted");
+    c_reservations_denied_ = s.counter("virtuoso.reservations.denied");
+    c_wren_reports_ = s.counter("virtuoso.reports.wren");
+  }
+}
 
 VirtuosoSystem::~VirtuosoSystem() = default;
 
@@ -68,6 +92,7 @@ vnet::VnetDaemon& VirtuosoSystem::add_daemon(net::NodeId host, std::string name,
   vnet::VnetDaemon& daemon = overlay_.create_daemon(host, name, is_proxy);
   DaemonRuntime rt;
   rt.analyzer = std::make_unique<wren::OnlineAnalyzer>(network_, host, config_.wren);
+  if (config_.telemetry) rt.analyzer->set_obs(scope());
   rt.service = std::make_unique<wren::WrenService>(registry_, *rt.analyzer,
                                                    "wren://" + daemon.name());
   rt.client = std::make_unique<wren::WrenClient>(registry_, "wren://" + daemon.name());
@@ -83,6 +108,7 @@ vnet::VnetDaemon& VirtuosoSystem::add_daemon(net::NodeId host, std::string name,
           global_vttif_->update_from(reporter, m);
         }
       });
+  if (config_.telemetry) rt.local_vttif->set_obs(scope());
   runtimes_.emplace(host, std::move(rt));
   return daemon;
 }
@@ -119,6 +145,13 @@ void VirtuosoSystem::bootstrap(vnet::LinkProtocol proto) {
   });
 
   for (auto& [host, rt] : runtimes_) start_reporting(host);
+
+  // The telemetry SOAP surface rides the same in-process RPC registry as
+  // the per-host Wren services.
+  if (config_.telemetry) {
+    telemetry_ = std::make_unique<soap::TelemetryService>(registry_, *metrics_, tracer_.get(),
+                                                          kTelemetryEndpoint);
+  }
   bootstrapped_ = true;
 }
 
@@ -133,6 +166,7 @@ void VirtuosoSystem::start_reporting(net::NodeId host) {
         // The nonblocking SOAP calls against the local Wren service...
         if (r.client->peers().empty()) return;
         // ...and the report shipped to the Proxy over the control plane.
+        obs::add(c_wren_reports_);
         control_->send(host, encode_wren_report(host, *r.analyzer));
       });
 }
@@ -181,7 +215,25 @@ std::vector<vadapt::Demand> VirtuosoSystem::current_demands() const {
   return demands;
 }
 
+namespace {
+
+const char* algorithm_name(AdaptationAlgorithm a) {
+  switch (a) {
+    case AdaptationAlgorithm::kGreedy: return "GH";
+    case AdaptationAlgorithm::kAnnealing: return "SA";
+    case AdaptationAlgorithm::kAnnealingGreedy: return "SA+GH";
+    case AdaptationAlgorithm::kMultiStartAnnealing: return "MS-SA";
+  }
+  return "?";
+}
+
+}  // namespace
+
 AdaptationOutcome VirtuosoSystem::adapt_now(AdaptationAlgorithm algorithm) {
+  obs::EventTracer::Span adapt_span = scope().span("virtuoso.adapt", "virtuoso");
+  adapt_span.arg("algorithm", algorithm_name(algorithm));
+  obs::add(c_adaptations_);
+
   const vadapt::CapacityGraph graph = capacity_graph();
   const std::vector<vadapt::Demand> demands = current_demands();
   const std::size_t n_vms = vms_.size();
@@ -190,7 +242,8 @@ AdaptationOutcome VirtuosoSystem::adapt_now(AdaptationAlgorithm algorithm) {
   vadapt::Evaluation eval;
   switch (algorithm) {
     case AdaptationAlgorithm::kGreedy: {
-      auto gh = vadapt::greedy_heuristic(graph, demands, n_vms, config_.objective);
+      auto gh = vadapt::greedy_heuristic(graph, demands, n_vms, config_.objective,
+                                         scope());
       conf = std::move(gh.configuration);
       eval = gh.evaluation;
       break;
@@ -204,7 +257,7 @@ AdaptationOutcome VirtuosoSystem::adapt_now(AdaptationAlgorithm algorithm) {
       break;
     }
     case AdaptationAlgorithm::kAnnealingGreedy: {
-      auto gh = vadapt::greedy_heuristic(graph, demands, n_vms, config_.objective);
+      auto gh = vadapt::greedy_heuristic(graph, demands, n_vms, config_.objective, scope());
       Rng rng = rng_service_.stream("vadapt.sa+gh");
       auto sa = vadapt::simulated_annealing(graph, demands, n_vms, config_.objective,
                                             config_.annealing, rng,
@@ -214,7 +267,7 @@ AdaptationOutcome VirtuosoSystem::adapt_now(AdaptationAlgorithm algorithm) {
       break;
     }
     case AdaptationAlgorithm::kMultiStartAnnealing: {
-      auto gh = vadapt::greedy_heuristic(graph, demands, n_vms, config_.objective);
+      auto gh = vadapt::greedy_heuristic(graph, demands, n_vms, config_.objective, scope());
       vadapt::MultiStartParams ms = config_.multistart;
       ms.annealing = config_.annealing;
       ms.seed = rng_service_.seed_for("vadapt.multistart");
@@ -232,6 +285,8 @@ AdaptationOutcome VirtuosoSystem::adapt_now(AdaptationAlgorithm algorithm) {
   outcome.evaluation = eval;
   outcome.demands = demands;
   outcome.hosts = graph.hosts();
+  adapt_span.arg("demands", std::to_string(demands.size()));
+  adapt_span.arg("migrations", std::to_string(outcome.migrations));
   if (config_.logger) {
     config_.logger->info(
         "vadapt", logcat("adaptation complete: cost=", eval.cost / 1e6, " Mb/s feasible=",
@@ -285,10 +340,14 @@ std::size_t VirtuosoSystem::install_reservations(const AdaptationOutcome& outcom
       if (auto rid = reservation_manager_.reserve_path(link->wire_flow(), edge.rate_bps)) {
         reservation_ids_.push_back(*rid);
         ++granted;
-      } else if (config_.logger) {
-        config_.logger->warn("reserve", logcat("reservation denied: ", edge.rate_bps / 1e6,
-                                               " Mb/s on overlay edge ", from_host, "->",
-                                               to_host));
+        obs::add(c_reservations_granted_);
+      } else {
+        obs::add(c_reservations_denied_);
+        if (config_.logger) {
+          config_.logger->warn("reserve", logcat("reservation denied: ", edge.rate_bps / 1e6,
+                                                 " Mb/s on overlay edge ", from_host, "->",
+                                                 to_host));
+        }
       }
       break;
     }
@@ -315,6 +374,7 @@ std::size_t VirtuosoSystem::apply_configuration(const vadapt::CapacityGraph& gra
       }
       migration_.migrate(*vms_[v], target);
       ++migrations;
+      obs::add(c_migrations_issued_);
     }
   }
 

@@ -8,9 +8,13 @@
 
 #include "net/network.hpp"
 #include "net/reservation.hpp"
+#include "obs/metrics.hpp"
+#include "obs/scope.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 #include "util/log.hpp"
 #include "soap/rpc.hpp"
+#include "soap/telemetry.hpp"
 #include "transport/stack.hpp"
 #include "vadapt/annealing.hpp"
 #include "vadapt/greedy.hpp"
@@ -65,6 +69,13 @@ struct SystemConfig {
   /// Optional event log (adaptations, migrations, reservations). The
   /// pointee must outlive the system; null disables logging.
   Logger* logger = nullptr;
+  /// When true the system owns a MetricsRegistry + EventTracer stamped by
+  /// the virtual clock, wires them into every subsystem (wren, transport,
+  /// vnet, vttif, vadapt, vm, virtuoso), and exposes QueryMetrics /
+  /// StreamEvents at "telemetry://proxy" after bootstrap.
+  bool telemetry = true;
+  /// Trace ring capacity (events); oldest events are dropped when full.
+  std::size_t trace_capacity = 16384;
 };
 
 struct AdaptationOutcome {
@@ -108,6 +119,16 @@ class VirtuosoSystem {
   /// The control plane (valid after bootstrap()).
   vnet::ControlPlane& control_plane() { return *control_; }
   const std::vector<std::unique_ptr<vm::VirtualMachine>>& vms() const { return vms_; }
+
+  // --- telemetry ---------------------------------------------------------------
+  /// The system-wide observability scope; disabled (null pointers) when
+  /// SystemConfig::telemetry is false.
+  obs::Scope scope() { return obs::Scope{metrics_.get(), tracer_.get()}; }
+  /// Metrics registry / event tracer; null when telemetry is disabled.
+  obs::MetricsRegistry* metrics() { return metrics_.get(); }
+  obs::EventTracer* tracer() { return tracer_.get(); }
+  /// The SOAP telemetry endpoint name (registered during bootstrap()).
+  static constexpr const char* kTelemetryEndpoint = "telemetry://proxy";
 
   // --- adaptation inputs -------------------------------------------------------
   /// The capacity graph VADAPT sees: daemon hosts, bandwidth/latency from
@@ -162,6 +183,8 @@ class VirtuosoSystem {
   net::Network& network_;
   SystemConfig config_;
   RngService rng_service_;
+  std::unique_ptr<obs::MetricsRegistry> metrics_;  ///< before stack_: wired into it
+  std::unique_ptr<obs::EventTracer> tracer_;
   transport::TransportStack stack_;
   vnet::Overlay overlay_;
   soap::RpcRegistry registry_;
@@ -180,6 +203,12 @@ class VirtuosoSystem {
   SimTime auto_cooldown_ = 0;
   SimTime last_auto_adapt_ = 0;
   std::uint64_t auto_adaptations_ = 0;
+  std::unique_ptr<soap::TelemetryService> telemetry_;
+  obs::Counter* c_adaptations_ = nullptr;
+  obs::Counter* c_migrations_issued_ = nullptr;
+  obs::Counter* c_reservations_granted_ = nullptr;
+  obs::Counter* c_reservations_denied_ = nullptr;
+  obs::Counter* c_wren_reports_ = nullptr;
 };
 
 }  // namespace vw::virtuoso

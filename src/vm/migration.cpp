@@ -1,12 +1,20 @@
 #include "vm/migration.hpp"
 
 #include <cmath>
+#include <string>
 
 namespace vw::vm {
 
 MigrationEngine::MigrationEngine(sim::Simulator& sim, net::Network& network,
                                  MigrationParams params)
     : sim_(sim), network_(network), params_(params) {}
+
+void MigrationEngine::set_obs(const obs::Scope& scope) {
+  obs_ = scope;
+  c_started_ = scope.counter("vm.migrations.started");
+  c_completed_ = scope.counter("vm.migrations.completed");
+  h_duration_s_ = scope.histogram("vm.migration.duration_s");
+}
 
 SimTime MigrationEngine::estimate_duration(const VirtualMachine& machine, net::NodeId from,
                                            net::NodeId to) const {
@@ -21,7 +29,7 @@ void MigrationEngine::migrate(VirtualMachine& machine, net::NodeId target_host, 
   if (auto it = inflight_.find(&machine); it != inflight_.end()) {
     // Already mid-migration: re-target; the in-flight completion event will
     // attach at the latest destination.
-    it->second = Pending{target_host, std::move(on_done)};
+    it->second = Pending{target_host, std::move(on_done), it->second.started_at};
     return;
   }
   if (machine.attached() && machine.host() == target_host) {
@@ -34,12 +42,20 @@ void MigrationEngine::migrate(VirtualMachine& machine, net::NodeId target_host, 
     machine.detach();
   }
   ++started_;
-  inflight_[&machine] = Pending{target_host, std::move(on_done)};
+  obs::add(c_started_);
+  inflight_[&machine] = Pending{target_host, std::move(on_done), sim_.now()};
   sim_.schedule_in(duration, [this, &machine] {
     auto node = inflight_.extract(&machine);
     Pending pending = std::move(node.mapped());
     machine.attach(pending.target);
     ++completed_;
+    obs::add(c_completed_);
+    const SimTime finished_at = sim_.now();
+    obs::record(h_duration_s_, to_seconds(finished_at - pending.started_at));
+    if (obs_.tracer != nullptr) {
+      obs_.tracer->complete("vm.migration", "vm", pending.started_at, finished_at,
+                            {{"target_host", std::to_string(pending.target)}});
+    }
     if (pending.on_done) pending.on_done(machine);
   });
 }

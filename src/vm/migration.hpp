@@ -4,6 +4,7 @@
 #include <map>
 
 #include "net/network.hpp"
+#include "obs/scope.hpp"
 #include "sim/simulator.hpp"
 #include "vm/machine.hpp"
 
@@ -43,10 +44,15 @@ class MigrationEngine {
   std::uint64_t migrations_started() const { return started_; }
   std::uint64_t migrations_completed() const { return completed_; }
 
+  /// Attach telemetry (vm.migrations.* counters, a duration histogram and a
+  /// complete trace span per migration).
+  void set_obs(const obs::Scope& scope);
+
  private:
   struct Pending {
     net::NodeId target;
     DoneFn on_done;
+    SimTime started_at = 0;  ///< for the duration histogram / trace span
   };
 
   sim::Simulator& sim_;
@@ -55,6 +61,10 @@ class MigrationEngine {
   std::map<const VirtualMachine*, Pending> inflight_;
   std::uint64_t started_ = 0;
   std::uint64_t completed_ = 0;
+  obs::Scope obs_;
+  obs::Counter* c_started_ = nullptr;
+  obs::Counter* c_completed_ = nullptr;
+  obs::Histogram* h_duration_s_ = nullptr;
 };
 
 }  // namespace vw::vm

@@ -8,6 +8,13 @@ VnetDaemon::VnetDaemon(transport::TransportStack& stack, net::NodeId host, std::
 
 VnetDaemon::~VnetDaemon() = default;
 
+void VnetDaemon::set_obs(const obs::Scope& scope) {
+  c_forwarded_ = scope.counter("vnet.frames.forwarded");
+  c_dropped_ = scope.counter("vnet.frames.dropped");
+  c_rules_added_ = scope.counter("vnet.rules.added");
+  c_rules_removed_ = scope.counter("vnet.rules.removed");
+}
+
 void VnetDaemon::attach_vm(MacAddress mac, VmDeliveryFn deliver) {
   local_vms_[mac] = std::move(deliver);
 }
@@ -23,6 +30,7 @@ void VnetDaemon::inject_from_vm(const EthernetFrame& frame) {
 void VnetDaemon::handle_from_link(FramePtr frame) {
   if (frame->ttl == 0) {
     ++frames_dropped_;
+    obs::add(c_dropped_);
     return;
   }
   auto decremented = std::make_shared<EthernetFrame>(*frame);
@@ -40,6 +48,7 @@ void VnetDaemon::route(FramePtr frame) {
   if (auto it = rules_.find(frame->dst_mac); it != rules_.end()) {
     if (auto lit = links_.find(it->second); lit != links_.end()) {
       ++frames_forwarded_;
+      obs::add(c_forwarded_);
       lit->second->send(std::move(frame));
       return;
     }
@@ -49,6 +58,7 @@ void VnetDaemon::route(FramePtr frame) {
     if (VnetDaemon* target = mac_resolver_(frame->dst_mac); target != nullptr && target != this) {
       if (auto link = link_to_host(target->host())) {
         ++frames_forwarded_;
+        obs::add(c_forwarded_);
         links_.at(*link)->send(std::move(frame));
         return;
       }
@@ -57,10 +67,12 @@ void VnetDaemon::route(FramePtr frame) {
   // 4. Star fallback: toward the Proxy.
   if (auto it = links_.find(default_link_); it != links_.end()) {
     ++frames_forwarded_;
+    obs::add(c_forwarded_);
     it->second->send(std::move(frame));
     return;
   }
   ++frames_dropped_;
+  obs::add(c_dropped_);
 }
 
 LinkId VnetDaemon::register_link(std::unique_ptr<OverlayLink> link) {
@@ -85,8 +97,13 @@ std::optional<LinkId> VnetDaemon::link_to_host(net::NodeId host) const {
   return std::nullopt;
 }
 
-void VnetDaemon::add_rule(MacAddress dst, LinkId out) { rules_[dst] = out; }
+void VnetDaemon::add_rule(MacAddress dst, LinkId out) {
+  rules_[dst] = out;
+  obs::add(c_rules_added_);
+}
 
-void VnetDaemon::remove_rule(MacAddress dst) { rules_.erase(dst); }
+void VnetDaemon::remove_rule(MacAddress dst) {
+  if (rules_.erase(dst) > 0) obs::add(c_rules_removed_);
+}
 
 }  // namespace vw::vnet

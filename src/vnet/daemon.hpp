@@ -108,6 +108,10 @@ class VnetDaemon {
   std::uint64_t frames_forwarded() const { return frames_forwarded_; }
   std::uint64_t frames_dropped() const { return frames_dropped_; }
 
+  /// Attach telemetry (vnet.frames.* and vnet.rules.* counters, shared by
+  /// all daemons wired to the same scope).
+  void set_obs(const obs::Scope& scope);
+
   /// Read-only view of the daemon's overlay links (diagnostics).
   std::vector<std::pair<LinkId, const OverlayLink*>> links() const {
     std::vector<std::pair<LinkId, const OverlayLink*>> out;
@@ -135,6 +139,10 @@ class VnetDaemon {
   MacResolverFn mac_resolver_;
   std::uint64_t frames_forwarded_ = 0;
   std::uint64_t frames_dropped_ = 0;
+  obs::Counter* c_forwarded_ = nullptr;
+  obs::Counter* c_dropped_ = nullptr;
+  obs::Counter* c_rules_added_ = nullptr;
+  obs::Counter* c_rules_removed_ = nullptr;
 };
 
 }  // namespace vw::vnet

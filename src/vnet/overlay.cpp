@@ -10,11 +10,20 @@ Overlay::Overlay(transport::TransportStack& stack) : stack_(stack) {}
 
 Overlay::~Overlay() = default;
 
+void Overlay::set_obs(const obs::Scope& scope) {
+  obs_ = scope;
+  c_links_added_ = scope.counter("vnet.links.added");
+  c_links_removed_ = scope.counter("vnet.links.removed");
+  c_paths_installed_ = scope.counter("vnet.paths.installed");
+  for (auto& d : daemons_) d->set_obs(scope);
+}
+
 VnetDaemon& Overlay::create_daemon(net::NodeId host, std::string name, bool is_proxy) {
   VW_REQUIRE(!by_host_.contains(host), "Overlay: daemon already on host ", host);
   VW_REQUIRE(!is_proxy || proxy_ == nullptr, "Overlay: proxy already exists");
   auto daemon = std::make_unique<VnetDaemon>(stack_, host, std::move(name), is_proxy);
   VnetDaemon* raw = daemon.get();
+  if (obs_.enabled()) raw->set_obs(obs_);
   daemons_.push_back(std::move(daemon));
   by_host_[host] = raw;
   if (is_proxy) {
@@ -118,6 +127,7 @@ std::pair<LinkId, LinkId> Overlay::ensure_link(VnetDaemon& a, VnetDaemon& b, Lin
   LinkRecord rec = make_link(a, b, proto);
   VW_ENSURE(rec.a_side != kInvalidLink, "Overlay::ensure_link: link creation failed");
   dynamic_links_.push_back(rec);
+  obs::add(c_links_added_);
   return {rec.a_side, rec.b_side};
 }
 
@@ -140,6 +150,7 @@ void Overlay::install_path(const std::vector<net::NodeId>& path, MacAddress dst_
     auto [from_side, to_side] = ensure_link(from, to, proto);
     from.add_rule(dst_mac, from_side);
   }
+  obs::add(c_paths_installed_);
 }
 
 void Overlay::reset_to_star() {
@@ -147,6 +158,7 @@ void Overlay::reset_to_star() {
     rec.a->remove_link(rec.a_side);  // also erases rules referencing the link
     if (rec.b_side != kInvalidLink) rec.b->remove_link(rec.b_side);
   }
+  obs::add(c_links_removed_, dynamic_links_.size());
   dynamic_links_.clear();
   // Remove any rules that pointed at star links too.
   std::vector<MacAddress> macs;

@@ -60,6 +60,10 @@ class Overlay {
 
   std::size_t dynamic_link_count() const { return dynamic_links_.size(); }
 
+  /// Attach telemetry (vnet.links.* / vnet.paths.* counters); forwards to
+  /// every daemon, existing and future.
+  void set_obs(const obs::Scope& scope);
+
  private:
   struct LinkRecord {
     VnetDaemon* a;
@@ -78,6 +82,10 @@ class Overlay {
   std::vector<LinkRecord> star_links_;
   std::vector<LinkRecord> dynamic_links_;
   bool star_built_ = false;
+  obs::Scope obs_;
+  obs::Counter* c_links_added_ = nullptr;
+  obs::Counter* c_links_removed_ = nullptr;
+  obs::Counter* c_paths_installed_ = nullptr;
 };
 
 }  // namespace vw::vnet

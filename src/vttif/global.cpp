@@ -1,14 +1,23 @@
 #include "vttif/global.hpp"
 
 #include <algorithm>
+#include <string>
 
 namespace vw::vttif {
 
 GlobalVttif::GlobalVttif(sim::Simulator& sim, GlobalVttifParams params)
     : sim_(sim), params_(params), task_(sim, params.aggregation_period, [this] { close_slot(); }) {}
 
+void GlobalVttif::set_obs(const obs::Scope& scope) {
+  obs_ = scope;
+  c_updates_ = scope.counter("vttif.updates.received");
+  c_changes_ = scope.counter("vttif.changes.reported");
+  g_edges_ = scope.gauge("vttif.topology.edges");
+}
+
 void GlobalVttif::update_from(net::NodeId, const TrafficMatrix& bytes) {
   ++updates_;
+  obs::add(c_updates_);
   current_slot_.merge(bytes);
 }
 
@@ -32,6 +41,10 @@ void GlobalVttif::close_slot() {
   last_reported_ = topo;
   last_report_time_ = now;
   ++changes_;
+  obs::add(c_changes_);
+  obs::set(g_edges_, static_cast<double>(topo.edges.size()));
+  obs_.instant("vttif.topology_change", "vttif",
+               {{"edges", std::to_string(topo.edges.size())}});
   if (on_change_) on_change_(topo);
 }
 

@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "net/packet.hpp"
+#include "obs/scope.hpp"
 #include "sim/simulator.hpp"
 #include "vttif/matrix.hpp"
 
@@ -48,6 +49,10 @@ class GlobalVttif {
   std::uint64_t updates_received() const { return updates_; }
   std::uint64_t changes_reported() const { return changes_; }
 
+  /// Attach telemetry (vttif.updates/changes counters, topology-edge gauge,
+  /// an instant trace event per reported change).
+  void set_obs(const obs::Scope& scope);
+
  private:
   void close_slot();
 
@@ -60,6 +65,10 @@ class GlobalVttif {
   SimTime last_report_time_ = 0;
   std::uint64_t updates_ = 0;
   std::uint64_t changes_ = 0;
+  obs::Scope obs_;
+  obs::Counter* c_updates_ = nullptr;
+  obs::Counter* c_changes_ = nullptr;
+  obs::Gauge* g_edges_ = nullptr;
   sim::PeriodicTask task_;
 };
 

@@ -17,6 +17,7 @@ LocalVttif::LocalVttif(sim::Simulator& sim, vnet::VnetDaemon& daemon, SimTime up
 void LocalVttif::push_update() {
   if (pending_.empty()) return;
   ++updates_;
+  obs::add(c_pushes_);
   if (push_) push_(daemon_.host(), pending_);
   pending_.clear();
 }

@@ -26,6 +26,9 @@ class LocalVttif {
   std::uint64_t updates_sent() const { return updates_; }
   vnet::VnetDaemon& daemon() { return daemon_; }
 
+  /// Attach telemetry (vttif.local.pushes counter).
+  void set_obs(const obs::Scope& scope) { c_pushes_ = scope.counter("vttif.local.pushes"); }
+
  private:
   void push_update();
 
@@ -33,6 +36,7 @@ class LocalVttif {
   PushFn push_;
   TrafficMatrix pending_;
   std::uint64_t updates_ = 0;
+  obs::Counter* c_pushes_ = nullptr;
   sim::PeriodicTask task_;
 };
 

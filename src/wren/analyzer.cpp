@@ -19,19 +19,38 @@ OnlineAnalyzer::FlowState& OnlineAnalyzer::flow_state(const net::FlowKey& key) {
   state.estimator = std::make_unique<SicEstimator>(params_.sic);
   SicEstimator* estimator = state.estimator.get();
   const net::NodeId peer = key.dst;
-  estimator->set_on_observation([this, peer](const SicObservation& obs) {
+  estimator->set_on_observation([this, peer](const SicObservation& observation) {
     ++observations_total_;
-    if (on_observation_) on_observation_(peer, obs);
+    obs::add(c_observations_);
+    if (observation.congested) obs::add(c_congested_);
+    if (on_observation_) on_observation_(peer, observation);
   });
   state.extractor = std::make_unique<TrainExtractor>(
-      key, params_.train, [estimator](const Train& train) { estimator->add_train(train); });
+      key, params_.train, [this, estimator](const Train& train) {
+        obs::add(c_trains_);
+        obs::record(h_train_length_, static_cast<double>(train.length()));
+        estimator->add_train(train);
+      });
   return flows_.emplace(key, std::move(state)).first->second;
+}
+
+void OnlineAnalyzer::set_obs(const obs::Scope& scope) {
+  trace_.set_obs(scope);
+  c_collect_runs_ = scope.counter("wren.collect.runs");
+  c_collect_records_ = scope.counter("wren.collect.records");
+  c_trains_ = scope.counter("wren.trains.extracted");
+  h_train_length_ = scope.histogram("wren.train.length");
+  c_observations_ = scope.counter("wren.sic.observations");
+  c_congested_ = scope.counter("wren.sic.congested");
 }
 
 void OnlineAnalyzer::analyze_now() {
   const SimTime now = network_.simulator().now();
 
-  for (const PacketRecord& rec : trace_.collect()) {
+  obs::add(c_collect_runs_);
+  const std::vector<PacketRecord> records = trace_.collect();
+  obs::add(c_collect_records_, records.size());
+  for (const PacketRecord& rec : records) {
     if (rec.direction == net::TapDirection::kOutgoing && !rec.is_ack && rec.payload_bytes > 0) {
       FlowState& fs = flow_state(rec.flow);
       fs.extractor->add(rec);

@@ -53,6 +53,10 @@ class OnlineAnalyzer {
 
   void set_on_observation(ObservationFn fn) { on_observation_ = std::move(fn); }
 
+  /// Attach telemetry: wren.collect.*, wren.trains.*, wren.sic.* counters
+  /// plus the wren.train.length histogram; forwards to the trace facility.
+  void set_obs(const obs::Scope& scope);
+
   net::NodeId host() const { return host_; }
   const TraceFacility& trace() const { return trace_; }
   std::uint64_t observations_total() const { return observations_total_; }
@@ -83,6 +87,12 @@ class OnlineAnalyzer {
   std::map<net::NodeId, PeerState> peer_state_;
   ObservationFn on_observation_;
   std::uint64_t observations_total_ = 0;
+  obs::Counter* c_collect_runs_ = nullptr;
+  obs::Counter* c_collect_records_ = nullptr;
+  obs::Counter* c_trains_ = nullptr;
+  obs::Histogram* h_train_length_ = nullptr;
+  obs::Counter* c_observations_ = nullptr;
+  obs::Counter* c_congested_ = nullptr;
   sim::PeriodicTask task_;
 };
 

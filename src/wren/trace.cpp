@@ -9,11 +9,17 @@ TraceFacility::TraceFacility(net::Network& network, net::NodeId host, std::size_
 
 TraceFacility::~TraceFacility() { network_.remove_host_tap(host_, tap_id_); }
 
+void TraceFacility::set_obs(const obs::Scope& scope) {
+  c_captured_ = scope.counter("wren.trace.captured");
+  c_dropped_ = scope.counter("wren.trace.dropped");
+}
+
 void TraceFacility::on_tap(const net::TapEvent& ev) {
   const net::Packet& pkt = *ev.packet;
   if (pkt.flow.proto != net::Protocol::kTcp) return;
   if (buffer_.size() >= capacity_) {
     ++dropped_;
+    obs::add(c_dropped_);
     buffer_.pop_front();
   }
   buffer_.push_back(PacketRecord{
@@ -28,6 +34,7 @@ void TraceFacility::on_tap(const net::TapEvent& ev) {
       .syn = pkt.syn,
   });
   ++captured_;
+  obs::add(c_captured_);
 }
 
 std::vector<PacketRecord> TraceFacility::collect() {

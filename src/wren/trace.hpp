@@ -6,6 +6,7 @@
 
 #include "net/network.hpp"
 #include "net/packet.hpp"
+#include "obs/scope.hpp"
 #include "util/time.hpp"
 
 // Wren's kernel packet trace facility.
@@ -46,6 +47,9 @@ class TraceFacility {
   /// Drain all records accumulated since the previous collect().
   std::vector<PacketRecord> collect();
 
+  /// Attach telemetry (wren.trace.captured / wren.trace.dropped).
+  void set_obs(const obs::Scope& scope);
+
   net::NodeId host() const { return host_; }
   std::uint64_t records_captured() const { return captured_; }
   std::uint64_t records_dropped() const { return dropped_; }
@@ -61,6 +65,8 @@ class TraceFacility {
   std::deque<PacketRecord> buffer_;
   std::uint64_t captured_ = 0;
   std::uint64_t dropped_ = 0;
+  obs::Counter* c_captured_ = nullptr;
+  obs::Counter* c_dropped_ = nullptr;
 };
 
 }  // namespace vw::wren

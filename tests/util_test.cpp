@@ -120,6 +120,18 @@ TEST(RunningStatsTest, BasicMoments) {
   EXPECT_DOUBLE_EQ(s.sum(), 40.0);
 }
 
+TEST(RunningStatsTest, EmptyExtremesAreNaN) {
+  RunningStats s;
+  EXPECT_TRUE(std::isnan(s.min()));
+  EXPECT_TRUE(std::isnan(s.max()));
+  s.add(-3.0);
+  EXPECT_DOUBLE_EQ(s.min(), -3.0);
+  EXPECT_DOUBLE_EQ(s.max(), -3.0);
+  s.reset();
+  EXPECT_TRUE(std::isnan(s.min()));
+  EXPECT_TRUE(std::isnan(s.max()));
+}
+
 TEST(RunningStatsTest, SingleSampleVarianceZero) {
   RunningStats s;
   s.add(3.0);

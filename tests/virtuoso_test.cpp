@@ -333,5 +333,65 @@ TEST(VirtuosoTest, AdaptTwiceIsStable) {
   (void)first;
 }
 
+TEST(VirtuosoTest, AdaptationEmitsTelemetry) {
+  SystemConfig config;
+  config.annealing.iterations = 500;
+  config.multistart.chains = 2;
+  ChallengeEnv env(config);
+  vm::VirtualMachine& v0 = env.system->create_vm("vm-0", env.tb.domain1_hosts[0], 4ull << 20);
+  vm::VirtualMachine& v1 = env.system->create_vm("vm-1", env.tb.domain2_hosts[0], 4ull << 20);
+  vm::apps::DemandMatrix demands;
+  demands[{0, 1}] = 5e6;
+  vm::apps::MatrixTrafficApp app(env.sim, {&v0, &v1}, demands, millis(100));
+  app.start();
+  env.sim.run_until(seconds(8.0));
+  app.stop();
+
+  env.system->adapt_now(AdaptationAlgorithm::kMultiStartAnnealing);
+  env.sim.run_until(seconds(20.0));
+
+  ASSERT_NE(env.system->metrics(), nullptr);
+  const obs::MetricsSnapshot snap = env.system->metrics()->snapshot();
+  auto count_of = [&snap](std::string_view name) {
+    const obs::MetricValue* m = snap.find(name);
+    return m != nullptr ? m->count : 0u;
+  };
+  // The optimizer ran and said so.
+  EXPECT_GT(count_of("vadapt.sa.runs"), 0u);
+  EXPECT_GT(count_of("vadapt.sa.iterations"), 0u);
+  EXPECT_GT(count_of("vadapt.multistart.runs"), 0u);
+  EXPECT_GT(count_of("virtuoso.adaptations"), 0u);
+  // The surrounding loop left its own footprints.
+  EXPECT_GT(count_of("vnet.frames.forwarded"), 0u);
+  EXPECT_GT(count_of("vttif.updates.received"), 0u);
+  EXPECT_GT(count_of("transport.udp.datagrams"), 0u);
+  // Snapshot timestamps come from the virtual clock.
+  EXPECT_EQ(snap.taken_at, env.sim.now());
+  // The adaptation span landed in the trace.
+  ASSERT_NE(env.system->tracer(), nullptr);
+  bool saw_adapt_span = false;
+  for (const obs::TraceEvent& ev : env.system->tracer()->events()) {
+    if (ev.name == "virtuoso.adapt") saw_adapt_span = true;
+  }
+  EXPECT_TRUE(saw_adapt_span);
+}
+
+TEST(VirtuosoTest, TelemetryDisabledLeavesNoRegistry) {
+  SystemConfig config;
+  config.telemetry = false;
+  ChallengeEnv env(config);
+  EXPECT_EQ(env.system->metrics(), nullptr);
+  EXPECT_EQ(env.system->tracer(), nullptr);
+  EXPECT_FALSE(env.system->scope().enabled());
+  // The system still works end to end with telemetry off.
+  vm::VirtualMachine& a = env.system->create_vm("vm-a", env.tb.domain1_hosts[0]);
+  vm::VirtualMachine& b = env.system->create_vm("vm-b", env.tb.domain1_hosts[1]);
+  std::uint64_t got = 0;
+  b.set_on_message([&](vnet::MacAddress, std::uint64_t bytes, const std::any&) { got += bytes; });
+  a.send_message(b.mac(), 10'000);
+  env.sim.run_until(seconds(2.0));
+  EXPECT_EQ(got, 10'000u);
+}
+
 }  // namespace
 }  // namespace vw::virtuoso

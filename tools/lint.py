@@ -8,6 +8,9 @@ Checks (all cheap text scans; no compiler needed):
   * no `std::cout` / `printf(` in src/ (library code logs via util/log.hpp)
   * no tab characters or trailing whitespace in tracked C++ sources
   * include order: the matching first-party header comes first in its .cpp
+  * metric-name literals passed to counter("...")/gauge("...")/histogram("...")
+    in src/ follow the dotted-lowercase grammar the obs registry enforces at
+    runtime (catch bad names at lint time, not first telemetry-enabled run)
 
 Exit status 0 when clean, 1 when any finding is reported.
 """
@@ -29,6 +32,11 @@ SOURCE_EXTS = {".cpp", ".cc", ".cxx"}
 RAW_ASSERT = re.compile(r"(?<![\w_])assert\s*\(")
 USING_NAMESPACE = re.compile(r"^\s*using\s+namespace\s", re.MULTILINE)
 BANNED_IO = re.compile(r"(?<![\w_])(std::cout|std::cerr|printf\s*\()")
+
+# Literal instrument names at resolution sites. Matches the grammar in
+# obs::valid_metric_name: dot-separated non-empty runs of [a-z0-9_].
+METRIC_CALL = re.compile(r'(?<![\w_])(?:counter|gauge|histogram)\s*\(\s*"([^"]*)"')
+METRIC_NAME = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)*$")
 
 
 def strip_comments(text: str) -> str:
@@ -114,6 +122,12 @@ def main() -> int:
             if m:
                 report(path, line_of(code, m.start()),
                        f"banned IO `{m.group(1)}` in library code; use util/log.hpp")
+            # Raw text, not `code`: strip_comments blanks string literals.
+            for m in METRIC_CALL.finditer(raw):
+                if not METRIC_NAME.match(m.group(1)):
+                    report(path, line_of(raw, m.start()),
+                           f'invalid metric name literal "{m.group(1)}" '
+                           "(want dotted lowercase, e.g. wren.trains.extracted)")
 
         if in_src and path.suffix in SOURCE_EXTS:
             # First include of a .cpp should be its own header (self-containment check).
