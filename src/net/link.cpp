@@ -31,6 +31,25 @@ void Channel::set_loss(double p, Rng rng) {
   loss_rng_ = rng;
 }
 
+void Channel::set_down(bool down) {
+  down_ = down;
+  if (!down) return;
+  // Flush both queues: the link carries nothing while down, including the
+  // packet currently serializing. Deliveries already in propagation are
+  // past this link and still arrive.
+  stats_.packets_down_dropped +=
+      priority_queue_.size() + best_effort_queue_.size();
+  priority_queue_.clear();
+  best_effort_queue_.clear();
+  prio_bytes_ = 0;
+  be_bytes_ = 0;
+  if (serving_) {
+    sim_.cancel(service_event_);
+    service_event_ = sim::EventHandle{};
+    serving_ = false;
+  }
+}
+
 SimTime Channel::current_queue_delay() const {
   return transmission_time(queued_bytes(), bits_per_sec_);
 }
@@ -101,7 +120,7 @@ void Channel::start_service() {
   if (queue.empty()) return;
   serving_ = true;
   const SimTime done = sim_.now() + transmission_time(queue.front().size_bytes(), bits_per_sec_);
-  sim_.schedule_at(done, [this] { finish_service(); });
+  service_event_ = sim_.schedule_at(done, [this] { finish_service(); });
 }
 
 void Channel::finish_service() {

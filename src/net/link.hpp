@@ -68,8 +68,11 @@ class Channel {
   void set_loss(double p, Rng rng);
   double loss_probability() const { return loss_p_; }
 
-  /// Take the link down (all enqueued packets dropped) or back up.
-  void set_down(bool down) { down_ = down; }
+  /// Take the link down or back up. Taking the link down drops every
+  /// queued packet (both classes) into `packets_down_dropped` and cancels
+  /// the in-flight serialization, so upper layers see a genuine outage;
+  /// packets already past serialization (in propagation) still arrive.
+  void set_down(bool down);
   bool is_down() const { return down_; }
 
   // --- reservations -------------------------------------------------------------
@@ -113,6 +116,7 @@ class Channel {
   std::deque<Packet> best_effort_queue_;
   bool serving_ = false;
   bool serving_priority_ = false;
+  sim::EventHandle service_event_;  ///< pending finish_service (cancelled on down)
   double loss_p_ = 0;
   std::optional<Rng> loss_rng_;
   bool down_ = false;

@@ -136,6 +136,18 @@ double Network::path_bottleneck_bps(NodeId a, NodeId b) const {
   return bottleneck;
 }
 
+bool Network::path_up(NodeId a, NodeId b) const {
+  if (a == b) return true;
+  NodeId at = a;
+  while (at != b) {
+    const NodeId nh = next_hop(at, b);
+    if (nh == kInvalidNode) return false;
+    if (channel(at, nh).is_down()) return false;
+    at = nh;
+  }
+  return true;
+}
+
 void Network::send(Packet pkt) {
   VW_REQUIRE(pkt.flow.src < nodes_.size() && pkt.flow.dst < nodes_.size(),
              "Network::send: bad endpoint (src=", pkt.flow.src, " dst=", pkt.flow.dst, ")");

@@ -90,6 +90,10 @@ class Network {
   /// Minimum channel capacity along the routed path a->b; 0 if unreachable.
   double path_bottleneck_bps(NodeId a, NodeId b) const;
 
+  /// True when every channel on the routed path a->b is up (and the path
+  /// exists). Routing is static, so a down link means the path is dead.
+  bool path_up(NodeId a, NodeId b) const;
+
   std::uint64_t packets_delivered() const { return packets_delivered_; }
   std::uint64_t packets_dropped() const;
 

@@ -1,5 +1,6 @@
 #include "virtuoso/system.hpp"
 
+#include <algorithm>
 #include <charconv>
 #include <stdexcept>
 
@@ -29,6 +30,13 @@ soap::XmlNode encode_vttif_update(net::NodeId reporter, const vttif::TrafficMatr
     e.attributes["dst"] = std::to_string(key.second);
     e.attributes["bits"] = fmt_double(bits);
   }
+  return msg;
+}
+
+soap::XmlNode encode_heartbeat(net::NodeId reporter) {
+  soap::XmlNode msg;
+  msg.name = "Heartbeat";
+  msg.attributes["reporter"] = std::to_string(reporter);
   return msg;
 }
 
@@ -68,6 +76,10 @@ VirtuosoSystem::VirtuosoSystem(sim::Simulator& sim, net::Network& network, Syste
       reservation_manager_(network),
       global_vttif_(std::make_unique<vttif::GlobalVttif>(sim, config.vttif)),
       migration_(sim, network, config.migration) {
+  // Measurements age against the virtual clock; with a horizon configured,
+  // entries stop answering queries once they outlive it.
+  view_.set_clock([this] { return sim_.now(); });
+  view_.set_staleness_horizon(config_.view_staleness_horizon);
   if (config_.telemetry) {
     const obs::Scope s = scope();
     stack_.set_obs(s);
@@ -83,6 +95,9 @@ VirtuosoSystem::VirtuosoSystem(sim::Simulator& sim, net::Network& network, Syste
     c_reservations_granted_ = s.counter("virtuoso.reservations.granted");
     c_reservations_denied_ = s.counter("virtuoso.reservations.denied");
     c_wren_reports_ = s.counter("virtuoso.reports.wren");
+    c_migration_failures_ = s.counter("virtuoso.migrations.failed");
+    c_replans_ = s.counter("virtuoso.replans");
+    c_daemons_dead_ = s.counter("virtuoso.daemons.declared_dead");
   }
 }
 
@@ -119,9 +134,15 @@ void VirtuosoSystem::bootstrap(vnet::LinkProtocol proto) {
 
   // Control plane: daemons ship reports to the Proxy over real TCP
   // connections; the Proxy folds them into its global views.
-  control_ = std::make_unique<vnet::ControlPlane>(stack_, overlay_.proxy().host());
+  control_ = std::make_unique<vnet::ControlPlane>(stack_, overlay_.proxy().host(), 9001,
+                                                  config_.control);
+  if (config_.telemetry) control_->set_obs(scope());
+  control_->register_handler("Heartbeat", [this](const soap::XmlNode& msg) {
+    note_report(static_cast<net::NodeId>(parse_u64(msg.attributes.at("reporter"))));
+  });
   control_->register_handler("VttifUpdate", [this](const soap::XmlNode& msg) {
     const auto reporter = static_cast<net::NodeId>(parse_u64(msg.attributes.at("reporter")));
+    note_report(reporter);
     vttif::TrafficMatrix m;
     for (const soap::XmlNode& e : msg.children) {
       if (e.name != "entry") continue;
@@ -132,6 +153,7 @@ void VirtuosoSystem::bootstrap(vnet::LinkProtocol proto) {
   });
   control_->register_handler("WrenReport", [this](const soap::XmlNode& msg) {
     const auto reporter = static_cast<net::NodeId>(parse_u64(msg.attributes.at("reporter")));
+    note_report(reporter);
     for (const soap::XmlNode& p : msg.children) {
       if (p.name != "peer") continue;
       const auto peer = static_cast<net::NodeId>(parse_u64(p.attributes.at("id")));
@@ -145,6 +167,16 @@ void VirtuosoSystem::bootstrap(vnet::LinkProtocol proto) {
   });
 
   for (auto& [host, rt] : runtimes_) start_reporting(host);
+
+  // Daemon-failure detection: every host starts with the benefit of the
+  // doubt (stamped "seen" at bootstrap); the liveness sweep declares a host
+  // dead once its reports go missing for daemon_timeout.
+  if (config_.daemon_timeout > 0) {
+    for (const auto& [host, rt] : runtimes_) last_report_[host] = sim_.now();
+    const SimTime sweep = std::max<SimTime>(millis(100), config_.daemon_timeout / 2);
+    liveness_task_ = std::make_unique<sim::PeriodicTask>(sim_, sweep,
+                                                         [this] { liveness_tick(); });
+  }
 
   // The telemetry SOAP surface rides the same in-process RPC registry as
   // the per-host Wren services.
@@ -169,6 +201,67 @@ void VirtuosoSystem::start_reporting(net::NodeId host) {
         obs::add(c_wren_reports_);
         control_->send(host, encode_wren_report(host, *r.analyzer));
       });
+  // Heartbeats prove the daemon alive even when it has nothing to report
+  // (VTTIF pushes skip empty matrices, Wren reports skip peerless hosts).
+  if (config_.control_heartbeat_period > 0) {
+    rt.heartbeat = std::make_unique<sim::PeriodicTask>(
+        sim_, config_.control_heartbeat_period,
+        [this, host] { control_->send(host, encode_heartbeat(host)); });
+  }
+}
+
+void VirtuosoSystem::note_report(net::NodeId reporter) {
+  last_report_[reporter] = sim_.now();
+}
+
+void VirtuosoSystem::liveness_tick() {
+  const SimTime now = sim_.now();
+  for (const auto& [host, rt] : runtimes_) {
+    const auto it = last_report_.find(host);
+    const SimTime last = it != last_report_.end() ? it->second : SimTime(0);
+    const bool timed_out = now - last > config_.daemon_timeout;
+    if (timed_out && !dead_daemons_.contains(host)) {
+      dead_daemons_.insert(host);
+      ++daemons_declared_dead_;
+      obs::add(c_daemons_dead_);
+      // Its measurements describe paths nobody can confirm any more.
+      const std::size_t invalidated = view_.invalidate_host(host);
+      if (config_.logger) {
+        config_.logger->warn("virtuoso",
+                             logcat("daemon on host ", host, " missed reports for ",
+                                    to_seconds(now - last), " s: declared dead, ", invalidated,
+                                    " view entries invalidated"));
+      }
+    } else if (!timed_out && dead_daemons_.contains(host)) {
+      // It reported again: resurrection.
+      dead_daemons_.erase(host);
+      if (config_.logger) {
+        config_.logger->info("virtuoso", logcat("daemon on host ", host, " reporting again"));
+      }
+    }
+  }
+}
+
+void VirtuosoSystem::kill_daemon(net::NodeId host) {
+  DaemonRuntime& rt = runtimes_.at(host);
+  rt.reporter.reset();
+  rt.heartbeat.reset();
+  if (rt.local_vttif) {
+    // The frame observer captures the LocalVttif being destroyed.
+    overlay_.daemon_on(host).set_frame_observer(nullptr);
+    rt.local_vttif.reset();
+  }
+  if (config_.logger) {
+    config_.logger->warn("virtuoso", logcat("daemon on host ", host, " killed"));
+  }
+}
+
+std::vector<net::NodeId> VirtuosoSystem::live_daemon_hosts() const {
+  std::vector<net::NodeId> hosts;
+  for (net::NodeId h : overlay_.daemon_hosts()) {
+    if (daemon_alive(h)) hosts.push_back(h);
+  }
+  return hosts;
 }
 
 vm::VirtualMachine& VirtuosoSystem::create_vm(const std::string& name, net::NodeId host,
@@ -185,7 +278,9 @@ wren::OnlineAnalyzer& VirtuosoSystem::wren_on(net::NodeId host) {
 }
 
 vadapt::CapacityGraph VirtuosoSystem::capacity_graph() const {
-  std::vector<net::NodeId> hosts = overlay_.daemon_hosts();
+  // Dead daemons drop out: VADAPT must not place VMs on hosts whose daemon
+  // stopped answering.
+  std::vector<net::NodeId> hosts = live_daemon_hosts();
   vadapt::CapacityGraph graph(hosts, config_.default_bandwidth_bps, 0.001);
   for (std::size_t i = 0; i < hosts.size(); ++i) {
     for (std::size_t j = 0; j < hosts.size(); ++j) {
@@ -296,12 +391,51 @@ AdaptationOutcome VirtuosoSystem::adapt_now(AdaptationAlgorithm algorithm) {
   return outcome;
 }
 
+void VirtuosoSystem::on_migration_failed(net::NodeId source, net::NodeId target) {
+  ++migration_failures_;
+  obs::add(c_migration_failures_);
+  // Whatever Wren believed about this pair predates the failure; force the
+  // planner to re-measure (or fall back) before trusting it again.
+  view_.invalidate(source, target);
+  view_.invalidate(target, source);
+  if (config_.logger) {
+    config_.logger->warn("virtuoso", logcat("migration ", source, "->", target,
+                                            " failed: VM rolled back, pair invalidated"));
+  }
+  if (!auto_adapt_enabled_ || replan_pending_) return;
+  // Re-plan around the dead pair, but never inside the failure callback and
+  // never faster than the adaptation cooldown allows.
+  replan_pending_ = true;
+  const SimTime at = std::max(sim_.now(), last_auto_adapt_ + auto_cooldown_);
+  sim_.schedule_at(at, [this] { try_failure_replan(); });
+}
+
+void VirtuosoSystem::try_failure_replan() {
+  if (!auto_adapt_enabled_) {
+    replan_pending_ = false;
+    return;
+  }
+  if (live_daemon_hosts().size() < vms_.size()) {
+    // Not enough live hosts to place every VM; wait out another cooldown
+    // for daemons to resurrect rather than planning an impossible mapping.
+    sim_.schedule_at(sim_.now() + auto_cooldown_, [this] { try_failure_replan(); });
+    return;
+  }
+  replan_pending_ = false;
+  last_auto_adapt_ = sim_.now();
+  ++auto_adaptations_;
+  ++failure_replans_;
+  obs::add(c_replans_);
+  adapt_now(auto_algorithm_);
+}
+
 void VirtuosoSystem::enable_auto_adaptation(AdaptationAlgorithm algorithm, SimTime cooldown) {
   auto_adapt_enabled_ = true;
   auto_algorithm_ = algorithm;
   auto_cooldown_ = cooldown;
   global_vttif_->set_on_change([this](const vttif::Topology&) {
     if (!auto_adapt_enabled_) return;
+    if (live_daemon_hosts().size() < vms_.size()) return;
     const SimTime now = sim_.now();
     if (auto_adaptations_ > 0 && now - last_auto_adapt_ < auto_cooldown_) return;
     last_auto_adapt_ = now;
@@ -372,7 +506,14 @@ std::size_t VirtuosoSystem::apply_configuration(const vadapt::CapacityGraph& gra
         config_.logger->info("vadapt", logcat("migrating ", vms_[v]->name(), " -> host ",
                                               target));
       }
-      migration_.migrate(*vms_[v], target);
+      const std::optional<net::NodeId> source =
+          vms_[v]->attached() ? std::optional<net::NodeId>(vms_[v]->host()) : std::nullopt;
+      migration_.migrate(*vms_[v], target,
+                         [this, source, target](vm::VirtualMachine&,
+                                                vm::MigrationStatus status) {
+                           if (status != vm::MigrationStatus::kFailed || !source) return;
+                           on_migration_failed(*source, target);
+                         });
       ++migrations;
       obs::add(c_migrations_issued_);
     }

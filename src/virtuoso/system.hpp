@@ -3,6 +3,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -63,6 +64,20 @@ struct SystemConfig {
   /// from `seed` are filled in at adaptation time.
   vadapt::MultiStartParams multistart;
   vm::MigrationParams migration;
+  /// Control-plane delivery robustness (health checks, reconnect backoff,
+  /// resend window).
+  vnet::ControlPlaneParams control;
+  /// Wren-view entries older than this are invisible to queries and to
+  /// capacity_graph(); 0 = entries never go stale (pre-failure behavior).
+  SimTime view_staleness_horizon = 0;
+  /// Per-daemon control-plane heartbeat period — a liveness signal even when
+  /// a host has no traffic or measurements to report; 0 disables heartbeats.
+  SimTime control_heartbeat_period = 0;
+  /// A daemon that has not reported anything (heartbeat, VTTIF update or
+  /// Wren report) for this long is declared dead: it drops out of
+  /// capacity_graph() and its view measurements are invalidated. 0 disables
+  /// daemon-failure detection.
+  SimTime daemon_timeout = 0;
   std::uint64_t seed = 42;
   /// Capacity assumed for daemon pairs Wren has not yet measured.
   double default_bandwidth_bps = 0;
@@ -105,6 +120,27 @@ class VirtuosoSystem {
   /// Create a VM and attach it to the daemon on `host`.
   vm::VirtualMachine& create_vm(const std::string& name, net::NodeId host,
                                 std::uint64_t memory_bytes = 256ull << 20);
+
+  // --- failure handling -------------------------------------------------------
+  /// Crash the daemon process on `host`: all of its reporting (VTTIF, Wren,
+  /// heartbeats) stops. With daemon_timeout configured, the Proxy declares
+  /// the host dead once the reports go missing. The host's network stack
+  /// keeps forwarding (the daemon died, not the machine).
+  void kill_daemon(net::NodeId host);
+
+  /// The Proxy's belief: false once `host` has missed reports for longer
+  /// than daemon_timeout (and has not reported since).
+  bool daemon_alive(net::NodeId host) const { return !dead_daemons_.contains(host); }
+
+  /// Daemon hosts currently believed alive (the capacity_graph() host set).
+  std::vector<net::NodeId> live_daemon_hosts() const;
+
+  /// Migrations that failed mid-flight (path down / deadline) and rolled
+  /// back to their source host.
+  std::uint64_t migration_failures() const { return migration_failures_; }
+  /// Re-plans triggered by a failed migration (auto-adaptation only).
+  std::uint64_t failure_replans() const { return failure_replans_; }
+  std::uint64_t daemons_declared_dead() const { return daemons_declared_dead_; }
 
   // --- component access -------------------------------------------------------
   sim::Simulator& simulator() { return sim_; }
@@ -174,10 +210,15 @@ class VirtuosoSystem {
     std::unique_ptr<wren::WrenClient> client;
     std::unique_ptr<vttif::LocalVttif> local_vttif;
     std::unique_ptr<sim::PeriodicTask> reporter;
+    std::unique_ptr<sim::PeriodicTask> heartbeat;
   };
 
   void start_reporting(net::NodeId host);
   std::optional<vadapt::VmIndex> vm_index_for_mac(vnet::MacAddress mac) const;
+  void note_report(net::NodeId reporter);
+  void liveness_tick();
+  void on_migration_failed(net::NodeId source, net::NodeId target);
+  void try_failure_replan();
 
   sim::Simulator& sim_;
   net::Network& network_;
@@ -203,12 +244,22 @@ class VirtuosoSystem {
   SimTime auto_cooldown_ = 0;
   SimTime last_auto_adapt_ = 0;
   std::uint64_t auto_adaptations_ = 0;
+  std::map<net::NodeId, SimTime> last_report_;  ///< Proxy-side liveness evidence
+  std::set<net::NodeId> dead_daemons_;
+  std::unique_ptr<sim::PeriodicTask> liveness_task_;
+  bool replan_pending_ = false;
+  std::uint64_t migration_failures_ = 0;
+  std::uint64_t failure_replans_ = 0;
+  std::uint64_t daemons_declared_dead_ = 0;
   std::unique_ptr<soap::TelemetryService> telemetry_;
   obs::Counter* c_adaptations_ = nullptr;
   obs::Counter* c_migrations_issued_ = nullptr;
   obs::Counter* c_reservations_granted_ = nullptr;
   obs::Counter* c_reservations_denied_ = nullptr;
   obs::Counter* c_wren_reports_ = nullptr;
+  obs::Counter* c_migration_failures_ = nullptr;
+  obs::Counter* c_replans_ = nullptr;
+  obs::Counter* c_daemons_dead_ = nullptr;
 };
 
 }  // namespace vw::virtuoso

@@ -1,10 +1,12 @@
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <string>
 
+#include "obs/scope.hpp"
 #include "soap/xml.hpp"
 #include "transport/stack.hpp"
 #include "transport/tcp.hpp"
@@ -16,8 +18,29 @@
 // root element name. Reports from the Proxy host itself short-circuit
 // (same daemon); everything else crosses the simulated network and pays
 // real latency and bandwidth.
+//
+// Delivery robustness: the daemon side monitors each control connection
+// (periodic health checks detect a closed socket, a handshake that never
+// completes, or acknowledged-byte progress stalling with data in flight),
+// tears a sick connection down, and reconnects with exponential backoff. A
+// bounded per-daemon resend window keeps recent reports alive across the
+// outage and replays the unacknowledged suffix on the fresh connection.
+// Reports are idempotent state snapshots, so the resulting at-least-once
+// delivery (a report whose bytes landed but whose ACK died in the outage is
+// replayed) is safe; when the window overflows, the oldest report is
+// dropped and counted — newer state supersedes it anyway.
 
 namespace vw::vnet {
+
+struct ControlPlaneParams {
+  SimTime health_check_period = millis(500);  ///< connection-health poll
+  SimTime send_timeout = seconds(5.0);   ///< unacked data w/o progress => stall
+  SimTime connect_timeout = seconds(10.0);  ///< handshake must finish by then
+  SimTime backoff_initial = millis(500);    ///< first reconnect delay
+  SimTime backoff_max = seconds(30.0);      ///< backoff ceiling
+  double backoff_factor = 2.0;              ///< exponential growth
+  std::size_t resend_window = 64;  ///< per-daemon messages kept for resend
+};
 
 class ControlPlane {
  public:
@@ -25,7 +48,7 @@ class ControlPlane {
 
   /// Listens for daemon control connections on (proxy_host, port).
   ControlPlane(transport::TransportStack& stack, net::NodeId proxy_host,
-               std::uint16_t port = 9001);
+               std::uint16_t port = 9001, ControlPlaneParams params = {});
   ~ControlPlane();
 
   ControlPlane(const ControlPlane&) = delete;
@@ -35,27 +58,89 @@ class ControlPlane {
   void register_handler(const std::string& root_name, HandlerFn handler);
 
   /// Daemon side: send `message` from `host` to the Proxy. Establishes the
-  /// host's control connection on first use. Messages from the Proxy host
-  /// dispatch immediately without touching the network.
+  /// host's control connection on first use; while the connection is down
+  /// the message waits in the resend window and rides the next reconnect.
+  /// Messages from the Proxy host dispatch immediately without touching the
+  /// network.
   void send(net::NodeId host, const soap::XmlNode& message);
 
+  /// Messages dispatched to a registered handler.
   std::uint64_t messages_delivered() const { return delivered_; }
+  /// Messages that parsed but matched no handler (silently ignored types).
+  std::uint64_t messages_unhandled() const { return unhandled_; }
   std::uint64_t parse_failures() const { return parse_failures_; }
   /// Wire bytes of serialized reports sent over the network (control-plane
-  /// overhead, §3.4).
+  /// overhead, §3.4), including resends.
   std::uint64_t bytes_shipped() const { return bytes_shipped_; }
 
+  // --- failure-handling introspection ----------------------------------------
+  /// Connections torn down after a detected failure (close/stall/timeout).
+  std::uint64_t disconnects() const { return disconnects_; }
+  /// Replacement connections that completed their handshake.
+  std::uint64_t reconnects() const { return reconnects_; }
+  std::uint64_t reconnect_attempts() const { return reconnect_attempts_; }
+  /// Messages re-shipped on a replacement connection.
+  std::uint64_t messages_resent() const { return resends_; }
+  /// Messages evicted from a full resend window (lost to the outage).
+  std::uint64_t messages_dropped() const { return drops_; }
+  /// Whether `host`'s control connection is currently established.
+  bool connection_healthy(net::NodeId host) const;
+
+  const ControlPlaneParams& params() const { return params_; }
+
+  /// Attach telemetry (vnet.control.* counters).
+  void set_obs(const obs::Scope& scope);
+
  private:
+  struct OutboundMessage {
+    std::string doc;
+    std::uint64_t end_offset = 0;  ///< stream offset on the current conn; 0 = unsent
+    std::uint32_t attempts = 0;    ///< transmissions so far (resend accounting)
+  };
+
+  struct ClientState {
+    transport::TcpConnection* conn = nullptr;
+    std::deque<OutboundMessage> window;  ///< unacked + queued, FIFO, bounded
+    SimTime backoff = 0;                 ///< current reconnect delay (0 = healthy)
+    sim::EventHandle reconnect_timer;
+    SimTime attempt_started = 0;
+    SimTime last_progress = 0;
+    std::uint64_t last_acked = 0;
+    bool ever_established = false;
+  };
+
+  sim::Simulator& sim() { return stack_.simulator(); }
   void dispatch(const std::string& doc);
+  void transmit(ClientState& state, OutboundMessage& msg);
+  void attempt_connect(net::NodeId host);
+  void fail_connection(net::NodeId host, ClientState& state);
+  void schedule_reconnect(net::NodeId host, ClientState& state);
+  void health_tick();
 
   transport::TransportStack& stack_;
   net::NodeId proxy_host_;
   std::uint16_t port_;
+  ControlPlaneParams params_;
   std::map<std::string, HandlerFn> handlers_;
-  std::map<net::NodeId, transport::TcpConnection*> clients_;
+  std::map<net::NodeId, ClientState> clients_;
+  std::unique_ptr<sim::PeriodicTask> health_task_;
   std::uint64_t delivered_ = 0;
+  std::uint64_t unhandled_ = 0;
   std::uint64_t parse_failures_ = 0;
   std::uint64_t bytes_shipped_ = 0;
+  std::uint64_t disconnects_ = 0;
+  std::uint64_t reconnects_ = 0;
+  std::uint64_t reconnect_attempts_ = 0;
+  std::uint64_t resends_ = 0;
+  std::uint64_t drops_ = 0;
+  obs::Counter* c_delivered_ = nullptr;
+  obs::Counter* c_unhandled_ = nullptr;
+  obs::Counter* c_parse_failures_ = nullptr;
+  obs::Counter* c_disconnects_ = nullptr;
+  obs::Counter* c_reconnects_ = nullptr;
+  obs::Counter* c_reconnect_attempts_ = nullptr;
+  obs::Counter* c_resends_ = nullptr;
+  obs::Counter* c_drops_ = nullptr;
 };
 
 }  // namespace vw::vnet

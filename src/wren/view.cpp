@@ -18,22 +18,31 @@ void GlobalNetworkView::update_latency(net::NodeId from, net::NodeId to, double 
   m.updated_at = at;
 }
 
+bool GlobalNetworkView::is_fresh(const PathMeasurement& m) const {
+  if (staleness_horizon_ <= 0 || !clock_) return true;
+  return clock_() - m.updated_at <= staleness_horizon_;
+}
+
 std::optional<double> GlobalNetworkView::bandwidth_bps(net::NodeId from, net::NodeId to) const {
   auto it = entries_.find({from, to});
   if (it == entries_.end() || !it->second.has_bandwidth) return std::nullopt;
+  if (!is_fresh(it->second)) return std::nullopt;
   return it->second.bandwidth_bps;
 }
 
 std::optional<double> GlobalNetworkView::latency_seconds(net::NodeId from, net::NodeId to) const {
   auto it = entries_.find({from, to});
   if (it == entries_.end() || !it->second.has_latency) return std::nullopt;
+  if (!is_fresh(it->second)) return std::nullopt;
   return it->second.latency_s;
 }
 
 std::vector<std::pair<net::NodeId, net::NodeId>> GlobalNetworkView::measured_pairs() const {
   std::vector<std::pair<net::NodeId, net::NodeId>> out;
   out.reserve(entries_.size());
-  for (const auto& [pair, m] : entries_) out.push_back(pair);
+  for (const auto& [pair, m] : entries_) {
+    if (is_fresh(m)) out.push_back(pair);
+  }
   return out;
 }
 
@@ -41,9 +50,40 @@ std::vector<std::tuple<net::NodeId, net::NodeId, double>> GlobalNetworkView::ban
     const {
   std::vector<std::tuple<net::NodeId, net::NodeId, double>> out;
   for (const auto& [pair, m] : entries_) {
-    if (m.has_bandwidth) out.push_back({pair.first, pair.second, m.bandwidth_bps});
+    if (m.has_bandwidth && is_fresh(m)) out.push_back({pair.first, pair.second, m.bandwidth_bps});
   }
   return out;
+}
+
+void GlobalNetworkView::invalidate(net::NodeId from, net::NodeId to) {
+  entries_.erase({from, to});
+}
+
+std::size_t GlobalNetworkView::invalidate_host(net::NodeId host) {
+  std::size_t removed = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->first.first == host || it->first.second == host) {
+      it = entries_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+std::size_t GlobalNetworkView::expire_stale() {
+  if (staleness_horizon_ <= 0 || !clock_) return 0;
+  std::size_t removed = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (!is_fresh(it->second)) {
+      it = entries_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
 }
 
 }  // namespace vw::wren

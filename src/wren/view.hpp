@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <map>
 #include <optional>
 #include <vector>
@@ -11,6 +12,13 @@
 // bandwidth and latency among the hosts running VNET daemons. Maintained at
 // the Proxy from the per-host Wren reports that VNET daemons forward, and
 // consumed by VADAPT as the capacity function of its optimization problem.
+//
+// Staleness: measurements age. With a staleness horizon configured (and a
+// clock attached), entries older than the horizon stop being served —
+// VADAPT falls back to the configured default capacity instead of
+// optimizing on a dead link's last good reading. Entries can also be
+// invalidated eagerly (e.g. when a migration across a pair fails or a
+// daemon is declared dead).
 
 namespace vw::wren {
 
@@ -32,8 +40,8 @@ class GlobalNetworkView {
   std::optional<double> bandwidth_bps(net::NodeId from, net::NodeId to) const;
   std::optional<double> latency_seconds(net::NodeId from, net::NodeId to) const;
 
-  /// All directed pairs with any measurement (in practice only pairs whose
-  /// VNET daemons exchanged messages have entries, as the paper notes).
+  /// All directed pairs with any fresh measurement (in practice only pairs
+  /// whose VNET daemons exchanged messages have entries, as the paper notes).
   std::vector<std::pair<net::NodeId, net::NodeId>> measured_pairs() const;
 
   const std::map<std::pair<net::NodeId, net::NodeId>, PathMeasurement>& entries() const {
@@ -41,10 +49,37 @@ class GlobalNetworkView {
   }
 
   /// Adjacency-list form consumed by VADAPT: (from, to, bandwidth_bps).
+  /// Stale entries are excluded.
   std::vector<std::tuple<net::NodeId, net::NodeId, double>> bandwidth_adjacency() const;
+
+  // --- staleness --------------------------------------------------------------
+  /// Entries older than `horizon` are treated as unmeasured (0 disables).
+  /// Takes effect only once a clock is attached.
+  void set_staleness_horizon(SimTime horizon) { staleness_horizon_ = horizon; }
+  SimTime staleness_horizon() const { return staleness_horizon_; }
+
+  /// Attach the virtual clock used to age entries (typically the
+  /// simulator's). Without a clock, staleness is never applied.
+  void set_clock(std::function<SimTime()> clock) { clock_ = std::move(clock); }
+
+  /// Whether a measurement is within the staleness horizon right now.
+  bool is_fresh(const PathMeasurement& m) const;
+
+  /// Drop the entry for a directed pair (e.g. the path just failed).
+  void invalidate(net::NodeId from, net::NodeId to);
+
+  /// Drop every entry touching `host` (e.g. its daemon died). Returns the
+  /// number of entries removed.
+  std::size_t invalidate_host(net::NodeId host);
+
+  /// Physically remove entries older than the horizon; returns how many
+  /// were dropped. Queries already exclude them — this just bounds memory.
+  std::size_t expire_stale();
 
  private:
   std::map<std::pair<net::NodeId, net::NodeId>, PathMeasurement> entries_;
+  SimTime staleness_horizon_ = 0;
+  std::function<SimTime()> clock_;
 };
 
 }  // namespace vw::wren

@@ -1,0 +1,503 @@
+// Failure-resilience regression suite: stale-view expiry, queue flushing on
+// link-down, migration failure/rollback/supersession, control-plane
+// reconnect with backoff, daemon-death detection, and the end-to-end chaos
+// scenario (deterministic under a fixed seed).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "net/fault.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "topo/testbed.hpp"
+#include "transport/stack.hpp"
+#include "virtuoso/system.hpp"
+#include "vm/apps.hpp"
+#include "vm/machine.hpp"
+#include "vm/migration.hpp"
+#include "vnet/control.hpp"
+#include "vnet/overlay.hpp"
+#include "wren/view.hpp"
+
+namespace vw {
+namespace {
+
+// --- stale measurements ------------------------------------------------------------
+
+TEST(StaleViewTest, EntriesExpireFromAllQueries) {
+  SimTime now = 0;
+  wren::GlobalNetworkView view;
+  view.set_clock([&] { return now; });
+  view.set_staleness_horizon(seconds(10.0));
+
+  view.update_bandwidth(1, 2, 50e6, now);
+  view.update_latency(1, 2, 0.01, now);
+  now = seconds(9.0);
+  EXPECT_TRUE(view.bandwidth_bps(1, 2).has_value());
+  EXPECT_TRUE(view.latency_seconds(1, 2).has_value());
+  EXPECT_EQ(view.measured_pairs().size(), 1u);
+  EXPECT_EQ(view.bandwidth_adjacency().size(), 1u);
+
+  now = seconds(11.0);
+  EXPECT_FALSE(view.bandwidth_bps(1, 2).has_value());
+  EXPECT_FALSE(view.latency_seconds(1, 2).has_value());
+  EXPECT_TRUE(view.measured_pairs().empty());
+  EXPECT_TRUE(view.bandwidth_adjacency().empty());
+
+  // A fresh report resurrects the pair.
+  view.update_bandwidth(1, 2, 60e6, now);
+  ASSERT_TRUE(view.bandwidth_bps(1, 2).has_value());
+  EXPECT_DOUBLE_EQ(*view.bandwidth_bps(1, 2), 60e6);
+}
+
+TEST(StaleViewTest, ZeroHorizonNeverExpires) {
+  SimTime now = 0;
+  wren::GlobalNetworkView view;
+  view.set_clock([&] { return now; });
+  view.update_bandwidth(1, 2, 50e6, now);
+  now = seconds(1e6);
+  EXPECT_TRUE(view.bandwidth_bps(1, 2).has_value());
+}
+
+TEST(StaleViewTest, InvalidateHostDropsEveryTouchingEntry) {
+  wren::GlobalNetworkView view;
+  view.update_bandwidth(1, 2, 1e6, 0);
+  view.update_bandwidth(2, 1, 1e6, 0);
+  view.update_bandwidth(2, 3, 1e6, 0);
+  view.update_bandwidth(1, 3, 1e6, 0);
+  EXPECT_EQ(view.invalidate_host(2), 3u);
+  EXPECT_FALSE(view.bandwidth_bps(1, 2).has_value());
+  EXPECT_FALSE(view.bandwidth_bps(2, 3).has_value());
+  EXPECT_TRUE(view.bandwidth_bps(1, 3).has_value());
+  view.invalidate(1, 3);
+  EXPECT_FALSE(view.bandwidth_bps(1, 3).has_value());
+}
+
+TEST(StaleViewTest, ExpireStaleBoundsMemory) {
+  SimTime now = 0;
+  wren::GlobalNetworkView view;
+  view.set_clock([&] { return now; });
+  view.set_staleness_horizon(seconds(5.0));
+  view.update_bandwidth(1, 2, 1e6, 0);
+  view.update_bandwidth(3, 4, 1e6, seconds(4.0));
+  now = seconds(6.0);
+  EXPECT_EQ(view.expire_stale(), 1u);
+  EXPECT_EQ(view.entries().size(), 1u);
+}
+
+// --- link-down queue flush ----------------------------------------------------------
+
+TEST(ChannelDownTest, DownFlushesQueuesAndCancelsServiceInFlight) {
+  sim::Simulator sim;
+  net::Network net{sim};
+  const net::NodeId a = net.add_host("a");
+  const net::NodeId b = net.add_host("b");
+  net::LinkConfig cfg;
+  cfg.bits_per_sec = 1e6;  // slow: packets queue up
+  cfg.prop_delay = millis(1);
+  net.add_link(a, b, cfg);
+  net.compute_routes();
+
+  int delivered = 0;
+  net.set_host_stack(b, [&](net::Packet&&) { ++delivered; });
+  sim.schedule_at(millis(1), [&] {
+    for (int i = 0; i < 20; ++i) {
+      net::Packet p;
+      p.flow = net::FlowKey{a, b, 1, 2, net::Protocol::kUdp};
+      p.payload_bytes = 1000;
+      net.send(std::move(p));
+    }
+  });
+  // ~8 ms per packet at 1 Mb/s: the queue is deep and one packet is mid-
+  // serialization when the link goes down.
+  sim.schedule_at(millis(20), [&] { net.set_link_down(a, b, true); });
+  sim.run_until(seconds(1.0));
+
+  const net::ChannelStats& stats = net.channel(a, b).stats();
+  EXPECT_GT(stats.packets_down_dropped, 0u);
+  EXPECT_LT(delivered, 20);
+  EXPECT_EQ(delivered + static_cast<int>(stats.packets_down_dropped), 20);
+
+  // The cancelled service completion must not strand the channel: after the
+  // link returns, new packets flow again.
+  net.set_link_down(a, b, false);
+  net::Packet p;
+  p.flow = net::FlowKey{a, b, 1, 2, net::Protocol::kUdp};
+  p.payload_bytes = 500;
+  net.send(std::move(p));
+  const int before = delivered;
+  sim.run_until(seconds(2.0));
+  EXPECT_EQ(delivered, before + 1);
+}
+
+// --- migration failure semantics ---------------------------------------------------
+
+struct MigrationEnv {
+  sim::Simulator sim;
+  net::Network net{sim};
+  std::vector<net::NodeId> hosts;
+  net::NodeId sw = 0;
+  std::unique_ptr<transport::TransportStack> stack;
+  std::unique_ptr<vnet::Overlay> overlay;
+  std::vector<std::unique_ptr<vm::VirtualMachine>> machines;
+
+  MigrationEnv() {
+    sw = net.add_router("switch");
+    for (std::size_t i = 0; i < 3; ++i) {
+      const net::NodeId h = net.add_host("host-" + std::to_string(i));
+      net::LinkConfig cfg;
+      cfg.bits_per_sec = 100e6;
+      cfg.prop_delay = micros(50);
+      net.add_link(h, sw, cfg);
+      hosts.push_back(h);
+    }
+    net.compute_routes();
+    stack = std::make_unique<transport::TransportStack>(net);
+    overlay = std::make_unique<vnet::Overlay>(*stack);
+    overlay->create_daemon(hosts[0], "proxy", /*is_proxy=*/true);
+    overlay->create_daemon(hosts[1], "d1");
+    overlay->create_daemon(hosts[2], "d2");
+    overlay->bootstrap_star(vnet::LinkProtocol::kUdp);
+  }
+
+  vm::VirtualMachine& vm_at(net::NodeId host, std::uint64_t memory = 16ull << 20) {
+    const auto mac = static_cast<vnet::MacAddress>(machines.size() + 1);
+    machines.push_back(std::make_unique<vm::VirtualMachine>(
+        sim, *overlay, mac, "vm" + std::to_string(mac), memory));
+    machines.back()->attach(host);
+    return *machines.back();
+  }
+};
+
+TEST(MigrationFailureTest, PathDownMidFlightFailsAndRollsBack) {
+  MigrationEnv env;
+  vm::VirtualMachine& m = env.vm_at(env.hosts[1]);
+  vm::MigrationEngine engine(env.sim, env.net);
+
+  vm::MigrationStatus status = vm::MigrationStatus::kCompleted;
+  bool called = false;
+  engine.migrate(m, env.hosts[2], [&](vm::VirtualMachine&, vm::MigrationStatus s) {
+    called = true;
+    status = s;
+  });
+  EXPECT_TRUE(engine.in_flight(m));
+  // Cut the target's link while the ~2.3 s transfer is in flight.
+  env.sim.schedule_at(seconds(1.0),
+                      [&] { env.net.set_link_down(env.hosts[2], env.sw, true); });
+  env.sim.run_until(seconds(10.0));
+
+  EXPECT_TRUE(called);
+  EXPECT_EQ(status, vm::MigrationStatus::kFailed);
+  ASSERT_TRUE(m.attached());
+  EXPECT_EQ(m.host(), env.hosts[1]);  // rolled back to the source
+  EXPECT_FALSE(engine.in_flight(m));
+  EXPECT_EQ(engine.migrations_failed(), 1u);
+  EXPECT_EQ(engine.migrations_completed(), 0u);
+}
+
+TEST(MigrationFailureTest, DeadlineBlownFailsTheMigration) {
+  MigrationEnv env;
+  vm::VirtualMachine& m = env.vm_at(env.hosts[1]);
+  vm::MigrationParams params;
+  params.deadline_factor = 0.5;  // deadline before the estimated completion
+  params.path_check_period = millis(100);
+  vm::MigrationEngine engine(env.sim, env.net, params);
+
+  vm::MigrationStatus status = vm::MigrationStatus::kCompleted;
+  engine.migrate(m, env.hosts[2],
+                 [&](vm::VirtualMachine&, vm::MigrationStatus s) { status = s; });
+  env.sim.run_until(seconds(10.0));
+  EXPECT_EQ(status, vm::MigrationStatus::kFailed);
+  ASSERT_TRUE(m.attached());
+  EXPECT_EQ(m.host(), env.hosts[1]);
+  EXPECT_EQ(engine.migrations_failed(), 1u);
+}
+
+TEST(MigrationFailureTest, RetargetSupersedesAndReestimatesRemaining) {
+  MigrationEnv env;
+  vm::VirtualMachine& m = env.vm_at(env.hosts[1]);
+  vm::MigrationEngine engine(env.sim, env.net);
+
+  vm::MigrationStatus first_status = vm::MigrationStatus::kCompleted;
+  engine.migrate(m, env.hosts[2],
+                 [&](vm::VirtualMachine&, vm::MigrationStatus s) { first_status = s; });
+  const SimTime total = engine.estimate_duration(m, env.hosts[1], env.hosts[0]);
+
+  vm::MigrationStatus second_status = vm::MigrationStatus::kFailed;
+  env.sim.schedule_at(seconds(1.0), [&] {
+    engine.migrate(m, env.hosts[0],
+                   [&](vm::VirtualMachine&, vm::MigrationStatus s) { second_status = s; });
+  });
+
+  // The superseded request's callback fires with kSuperseded the moment the
+  // re-target lands.
+  env.sim.run_until(seconds(1.5));
+  EXPECT_EQ(first_status, vm::MigrationStatus::kSuperseded);
+  EXPECT_EQ(engine.migrations_superseded(), 1u);
+  EXPECT_TRUE(engine.in_flight(m));
+
+  // Completion keeps the ORIGINAL start time: elapsed work counts, so the
+  // VM lands at started_at + re-estimated total, not 1 s later.
+  env.sim.run_until(total - millis(100));
+  EXPECT_TRUE(engine.in_flight(m));
+  env.sim.run_until(total + millis(100));
+  EXPECT_FALSE(engine.in_flight(m));
+  EXPECT_EQ(second_status, vm::MigrationStatus::kCompleted);
+  ASSERT_TRUE(m.attached());
+  EXPECT_EQ(m.host(), env.hosts[0]);
+  EXPECT_EQ(engine.migrations_started(), 1u);  // one transfer, re-targeted
+  EXPECT_EQ(engine.migrations_completed(), 1u);
+}
+
+TEST(MigrationFailureTest, AbortReattachesAtSource) {
+  MigrationEnv env;
+  vm::VirtualMachine& m = env.vm_at(env.hosts[1]);
+  vm::MigrationEngine engine(env.sim, env.net);
+
+  vm::MigrationStatus status = vm::MigrationStatus::kCompleted;
+  engine.migrate(m, env.hosts[2],
+                 [&](vm::VirtualMachine&, vm::MigrationStatus s) { status = s; });
+  env.sim.run_until(seconds(1.0));
+  EXPECT_TRUE(engine.abort(m));
+  EXPECT_EQ(status, vm::MigrationStatus::kAborted);
+  ASSERT_TRUE(m.attached());
+  EXPECT_EQ(m.host(), env.hosts[1]);
+  EXPECT_EQ(engine.migrations_aborted(), 1u);
+  EXPECT_FALSE(engine.abort(m));  // nothing in flight any more
+  env.sim.run_until(seconds(10.0));
+  EXPECT_EQ(engine.migrations_completed(), 0u);  // cancelled event never fires
+}
+
+// --- control-plane reconnect ---------------------------------------------------------
+
+TEST(ControlReconnectTest, OutageDisconnectsThenReconnectsWithBackoffAndResends) {
+  sim::Simulator sim;
+  net::Network net{sim};
+  const net::NodeId daemon_host = net.add_host("daemon");
+  const net::NodeId proxy_host = net.add_host("proxy");
+  const net::NodeId sw = net.add_router("sw");
+  net::LinkConfig cfg;
+  cfg.bits_per_sec = 100e6;
+  cfg.prop_delay = millis(1);
+  net.add_link(daemon_host, sw, cfg);
+  net.add_link(sw, proxy_host, cfg);
+  net.compute_routes();
+  transport::TransportStack stack(net);
+
+  vnet::ControlPlaneParams params;
+  params.send_timeout = seconds(2.0);
+  params.connect_timeout = seconds(3.0);
+  params.backoff_initial = millis(250);
+  vnet::ControlPlane control(stack, proxy_host, 9001, params);
+
+  int pings = 0;
+  control.register_handler("Ping", [&](const soap::XmlNode&) { ++pings; });
+
+  int sent = 0;
+  sim::PeriodicTask pinger(sim, millis(500), [&] {
+    soap::XmlNode msg;
+    msg.name = "Ping";
+    msg.attributes["n"] = std::to_string(sent++);
+    control.send(daemon_host, msg);
+  });
+
+  net::FaultPlan faults(sim, net);
+  faults.link_outage(seconds(5.0), seconds(15.0), daemon_host, sw);
+
+  sim.run_until(seconds(5.0));
+  const std::uint64_t delivered_pre_outage = control.messages_delivered();
+  EXPECT_GT(delivered_pre_outage, 0u);
+  EXPECT_TRUE(control.connection_healthy(daemon_host));
+
+  // Mid-outage: the stall was detected and the connection torn down.
+  sim.run_until(seconds(14.0));
+  EXPECT_GE(control.disconnects(), 1u);
+  EXPECT_FALSE(control.connection_healthy(daemon_host));
+
+  sim.run_until(seconds(40.0));
+  EXPECT_GE(control.reconnects(), 1u);
+  // Backoff implies several attempts across a 10 s outage.
+  EXPECT_GT(control.reconnect_attempts(), control.reconnects());
+  EXPECT_GE(control.messages_resent(), 1u);
+  EXPECT_TRUE(control.connection_healthy(daemon_host));
+  // At-least-once: everything queued during the outage was replayed.
+  sim.run_until(seconds(41.0));
+  EXPECT_GE(control.messages_delivered(), static_cast<std::uint64_t>(sent) - 2);
+  EXPECT_EQ(static_cast<int>(control.messages_delivered()), pings);
+  EXPECT_EQ(control.messages_dropped(), 0u);  // window never overflowed
+}
+
+// --- daemon-failure detection --------------------------------------------------------
+
+TEST(DaemonFailureTest, KilledDaemonIsDeclaredDeadAndExcluded) {
+  sim::Simulator sim;
+  net::Network net{sim};
+  const net::NodeId sw = net.add_router("sw");
+  std::vector<net::NodeId> hosts;
+  for (int i = 0; i < 3; ++i) {
+    const net::NodeId h = net.add_host("h" + std::to_string(i));
+    net::LinkConfig cfg;
+    cfg.bits_per_sec = 100e6;
+    cfg.prop_delay = micros(50);
+    net.add_link(h, sw, cfg);
+    hosts.push_back(h);
+  }
+  net.compute_routes();
+
+  virtuoso::SystemConfig config;
+  config.telemetry = false;
+  config.daemon_timeout = seconds(2.0);
+  config.control_heartbeat_period = millis(500);
+  virtuoso::VirtuosoSystem system(sim, net, config);
+  system.add_daemon(hosts[0], "proxy", true);
+  system.add_daemon(hosts[1], "d1");
+  system.add_daemon(hosts[2], "d2");
+  system.bootstrap(vnet::LinkProtocol::kUdp);
+
+  system.network_view().update_bandwidth(hosts[0], hosts[2], 10e6, sim.now());
+  system.network_view().update_bandwidth(hosts[0], hosts[1], 10e6, sim.now());
+
+  sim.run_until(seconds(4.0));
+  EXPECT_TRUE(system.daemon_alive(hosts[1]));
+  EXPECT_TRUE(system.daemon_alive(hosts[2]));
+  EXPECT_EQ(system.capacity_graph().size(), 3u);
+
+  system.kill_daemon(hosts[2]);
+  sim.run_until(seconds(10.0));
+  EXPECT_TRUE(system.daemon_alive(hosts[0]));
+  EXPECT_TRUE(system.daemon_alive(hosts[1]));
+  EXPECT_FALSE(system.daemon_alive(hosts[2]));
+  EXPECT_EQ(system.daemons_declared_dead(), 1u);
+  EXPECT_EQ(system.capacity_graph().size(), 2u);
+  EXPECT_EQ(system.live_daemon_hosts(), (std::vector<net::NodeId>{hosts[0], hosts[1]}));
+  // Its measurements were invalidated with it; the others survive.
+  EXPECT_FALSE(system.network_view().bandwidth_bps(hosts[0], hosts[2]).has_value());
+  EXPECT_TRUE(system.network_view().bandwidth_bps(hosts[0], hosts[1]).has_value());
+}
+
+// --- end-to-end chaos scenario -------------------------------------------------------
+
+struct ChaosResult {
+  std::string signature;
+  bool all_attached = true;
+  bool trio_on_fast_cluster = false;
+  std::uint64_t migrations_failed = 0;
+  std::uint64_t reconnects = 0;
+  std::uint64_t daemons_died = 0;
+  std::uint64_t replans = 0;
+};
+
+// The examples/chaos_cluster scenario, compacted: cut the inter-domain link
+// while the first adaptation's migrations are crossing it.
+ChaosResult run_chaos_scenario(std::uint64_t seed) {
+  sim::Simulator sim;
+  topo::ChallengeNetwork tb = topo::make_challenge_network(sim);
+
+  virtuoso::SystemConfig config;
+  config.seed = seed;
+  config.telemetry = false;
+  config.view_staleness_horizon = seconds(10.0);
+  config.control_heartbeat_period = seconds(1.0);
+  config.daemon_timeout = seconds(5.0);
+  config.control.send_timeout = seconds(4.0);
+  config.control.backoff_initial = millis(250);
+  virtuoso::VirtuosoSystem system(sim, *tb.network, config);
+
+  bool first = true;
+  for (net::NodeId h : tb.hosts()) {
+    system.add_daemon(h, tb.network->node(h).name, first);
+    first = false;
+  }
+  system.bootstrap(vnet::LinkProtocol::kUdp);
+
+  const std::uint64_t mem = 8ull << 20;
+  vm::VirtualMachine& v0 = system.create_vm("vm-0", tb.domain1_hosts[0], mem);
+  vm::VirtualMachine& v1 = system.create_vm("vm-1", tb.domain1_hosts[1], mem);
+  vm::VirtualMachine& v2 = system.create_vm("vm-2", tb.domain2_hosts[0], mem);
+  vm::VirtualMachine& v3 = system.create_vm("vm-3", tb.domain2_hosts[1], mem);
+  const std::vector<vm::VirtualMachine*> vms = {&v0, &v1, &v2, &v3};
+
+  vm::apps::DemandMatrix demands;
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      if (i != j) demands[{i, j}] = 8e6;
+    }
+  }
+  demands[{0, 3}] = demands[{3, 0}] = 0.5e6;
+  vm::apps::MatrixTrafficApp app(sim, vms, demands, millis(100));
+  app.start();
+
+  const topo::ChallengeScenario truth = topo::make_challenge_scenario();
+  const auto hosts = tb.hosts();
+  sim::PeriodicTask oracle(sim, seconds(2.0), [&] {
+    for (std::size_t i = 0; i < hosts.size(); ++i) {
+      for (std::size_t j = 0; j < hosts.size(); ++j) {
+        if (i == j || !tb.network->path_up(hosts[i], hosts[j])) continue;
+        system.network_view().update_bandwidth(hosts[i], hosts[j],
+                                               truth.graph.bandwidth(i, j), sim.now());
+        system.network_view().update_latency(hosts[i], hosts[j], truth.graph.latency(i, j),
+                                             sim.now());
+      }
+    }
+  });
+
+  system.enable_auto_adaptation(virtuoso::AdaptationAlgorithm::kGreedy, seconds(10.0));
+
+  net::FaultPlan faults(sim, *tb.network);
+  faults.link_outage(seconds(5.0), seconds(23.0), tb.switch1, tb.switch2);
+
+  sim.run_until(seconds(60.0));
+  app.stop();
+
+  ChaosResult r;
+  r.migrations_failed = system.migration().migrations_failed();
+  r.reconnects = system.control_plane().reconnects();
+  r.daemons_died = system.daemons_declared_dead();
+  r.replans = system.failure_replans();
+  const auto on_fast = [&](const vm::VirtualMachine& m) {
+    return m.attached() && (m.host() == tb.domain2_hosts[0] || m.host() == tb.domain2_hosts[1] ||
+                            m.host() == tb.domain2_hosts[2]);
+  };
+  r.trio_on_fast_cluster = on_fast(v0) && on_fast(v1) && on_fast(v2);
+  std::ostringstream sig;
+  for (const vm::VirtualMachine* m : vms) {
+    r.all_attached = r.all_attached && m->attached();
+    sig << (m->attached() ? static_cast<long long>(m->host()) : -1) << ",";
+  }
+  sig << system.auto_adaptations() << "," << r.replans << "," << r.migrations_failed << ","
+      << system.migration().migrations_started() << "," << r.reconnects << ","
+      << system.control_plane().disconnects() << ","
+      << system.control_plane().messages_resent() << ","
+      << system.control_plane().messages_delivered() << "," << r.daemons_died;
+  r.signature = sig.str();
+  return r;
+}
+
+TEST(ChaosScenarioTest, ResilienceInvariantsHoldThroughTheOutage) {
+  const ChaosResult r = run_chaos_scenario(42);
+  EXPECT_TRUE(r.all_attached) << "a VM was left detached";
+  EXPECT_GT(r.migrations_failed, 0u);
+  EXPECT_GT(r.reconnects, 0u);
+  EXPECT_GT(r.daemons_died, 0u);
+  EXPECT_GT(r.replans, 0u);
+  // The loop still converged to the good placement after the chaos.
+  EXPECT_TRUE(r.trio_on_fast_cluster);
+}
+
+TEST(ChaosScenarioTest, DeterministicUnderTheSameSeed) {
+  const ChaosResult a = run_chaos_scenario(42);
+  const ChaosResult b = run_chaos_scenario(42);
+  EXPECT_EQ(a.signature, b.signature);
+}
+
+TEST(ChaosScenarioTest, SecondSeedAlsoSurvives) {
+  const ChaosResult r = run_chaos_scenario(7);
+  EXPECT_TRUE(r.all_attached);
+  EXPECT_GT(r.migrations_failed, 0u);
+  EXPECT_GT(r.reconnects, 0u);
+}
+
+}  // namespace
+}  // namespace vw

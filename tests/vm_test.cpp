@@ -129,7 +129,9 @@ TEST(MigrationTest, MovesVmAndTrafficFollows) {
 
   MigrationEngine engine(env.sim, env.net);
   bool done = false;
-  engine.migrate(b, env.hosts[1], [&](VirtualMachine&) { done = true; });
+  engine.migrate(b, env.hosts[1], [&](VirtualMachine&, MigrationStatus status) {
+    done = status == MigrationStatus::kCompleted;
+  });
   EXPECT_FALSE(b.attached());  // paused during transfer
   env.sim.run_until(seconds(30.0));
   EXPECT_TRUE(done);
@@ -148,7 +150,9 @@ TEST(MigrationTest, NoopWhenAlreadyThere) {
   VirtualMachine& a = env.vm(1, env.hosts[1]);
   MigrationEngine engine(env.sim, env.net);
   bool done = false;
-  engine.migrate(a, env.hosts[1], [&](VirtualMachine&) { done = true; });
+  engine.migrate(a, env.hosts[1], [&](VirtualMachine&, MigrationStatus status) {
+    done = status == MigrationStatus::kCompleted;
+  });
   EXPECT_TRUE(done);  // immediate
   EXPECT_EQ(engine.migrations_started(), 0u);
 }

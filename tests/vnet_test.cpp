@@ -327,13 +327,14 @@ TEST(ControlPlaneTest, ProxyHostShortCircuits) {
   EXPECT_EQ(control.bytes_shipped(), 0u);
 }
 
-TEST(ControlPlaneTest, UnknownRootIsIgnored) {
+TEST(ControlPlaneTest, UnknownRootCountedAsUnhandled) {
   OverlayEnv env(2);
   ControlPlane control(*env.stack, env.hosts[0]);
   soap::XmlNode msg;
   msg.name = "Mystery";
   control.send(env.hosts[0], msg);
-  EXPECT_EQ(control.messages_delivered(), 1u);  // delivered, just unhandled
+  EXPECT_EQ(control.messages_delivered(), 0u);  // no handler matched
+  EXPECT_EQ(control.messages_unhandled(), 1u);
   EXPECT_EQ(control.parse_failures(), 0u);
 }
 
