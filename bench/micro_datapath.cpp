@@ -1,0 +1,231 @@
+// Datapath micro benchmarks (this PR's acceptance gate): event-scheduler
+// throughput on a TCP-timer-style churn workload, and end-to-end simulated
+// packet throughput on a fig4-style star topology.
+//
+// The scheduler is benchmarked twice over the identical workload:
+//   * `baseline` — a line-for-line replica of the pre-overhaul engine
+//     (std::function callbacks, pending/cancelled unordered_sets, the
+//     callback living inside the heap entry), compiled into this binary so
+//     the comparison shares compiler, flags, and machine;
+//   * `arena` — the real sim::Simulator (SmallFn callbacks + the
+//     generation-stamped slot arena).
+// Both run the same churn: schedule a batch of timers whose captures match
+// the real datapath's (a Packet-sized payload), cancel two thirds of them
+// before they fire (what TCP retransmission timers do), run the rest.
+// items_per_second = scheduler ops (schedule + cancel + fire); the
+// acceptance criterion is arena >= 3x baseline.
+//
+// tools/bench_to_json.py --suite datapath wraps this binary into
+// BENCH_datapath.json and enforces the gate.
+//
+// Custom main: runtime audits (VW_AUDIT) are disabled so contract checks in
+// hot loops don't pollute the timing.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "transport/stack.hpp"
+#include "transport/udp.hpp"
+#include "util/check.hpp"
+
+namespace {
+
+using namespace vw;
+
+// --- the pre-overhaul scheduler, replicated ----------------------------------
+// Kept byte-for-byte faithful to the old sim::Simulator's cost structure
+// (see git history): heap entries carry the std::function, live ids sit in
+// one hash set, cancelled ids in another.
+namespace baseline {
+
+class Scheduler {
+ public:
+  using Callback = std::function<void()>;
+  using Handle = std::uint64_t;
+
+  SimTime now() const { return now_; }
+
+  Handle schedule_at(SimTime at, Callback cb) {
+    const std::uint64_t id = next_id_++;
+    queue_.push(Event{at, next_seq_++, id, std::move(cb)});
+    pending_ids_.insert(id);
+    return id;
+  }
+
+  bool cancel(Handle id) {
+    auto it = pending_ids_.find(id);
+    if (it == pending_ids_.end()) return false;
+    pending_ids_.erase(it);
+    cancelled_.insert(id);
+    return true;
+  }
+
+  void run() {
+    while (!queue_.empty()) {
+      Event ev = std::move(const_cast<Event&>(queue_.top()));
+      queue_.pop();
+      if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
+        cancelled_.erase(it);
+        continue;
+      }
+      pending_ids_.erase(ev.id);
+      now_ = ev.at;
+      ev.cb();
+    }
+  }
+
+ private:
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;
+    std::uint64_t id;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<std::uint64_t> pending_ids_;
+  std::unordered_set<std::uint64_t> cancelled_;
+};
+
+}  // namespace baseline
+
+// The capture the real datapath schedules: a channel continuation holding
+// roughly a Packet by value (~96 bytes). Forces the cost structure the old
+// engine actually paid (std::function heap-allocates this; SmallFn holds it
+// inline).
+struct PacketSizedCapture {
+  std::uint64_t words[12];
+};
+
+// One churn round on either scheduler: `kBatch` timers land in a 1 ms
+// window, two thirds are cancelled before firing (TCP retransmission-timer
+// behavior), the rest run. Returns the op count (schedule + cancel + fire).
+template <class SchedulerT, class HandleT>
+std::uint64_t churn_round(SchedulerT& sched, std::vector<HandleT>& handles,
+                          std::uint64_t* sink) {
+  constexpr int kBatch = 1'024;
+  handles.clear();
+  const SimTime base = sched.now();
+  PacketSizedCapture cap{};
+  for (int i = 0; i < kBatch; ++i) {
+    cap.words[0] = static_cast<std::uint64_t>(i);
+    // Deterministic pseudo-random spread within the window, like RTO timers.
+    const SimTime at = base + (static_cast<SimTime>(i) * 7919) % 1'000'000;
+    handles.push_back(sched.schedule_at(at, [cap, sink] { *sink += cap.words[0]; }));
+  }
+  int attempts = 0;
+  int cancelled = 0;
+  for (int i = 0; i < kBatch; ++i) {
+    if (i % 3 == 0) continue;
+    ++attempts;
+    if (sched.cancel(handles[static_cast<std::size_t>(i)])) ++cancelled;
+  }
+  sched.run();
+  return static_cast<std::uint64_t>(kBatch + attempts + (kBatch - cancelled));
+}
+
+void BM_SchedulerChurn_baseline(benchmark::State& state) {
+  baseline::Scheduler sched;
+  std::vector<baseline::Scheduler::Handle> handles;
+  std::uint64_t sink = 0;
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    ops += churn_round(sched, handles, &sink);
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+}
+BENCHMARK(BM_SchedulerChurn_baseline);
+
+void BM_SchedulerChurn_arena(benchmark::State& state) {
+  sim::Simulator sched;
+  std::vector<sim::EventHandle> handles;
+  std::uint64_t sink = 0;
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    ops += churn_round(sched, handles, &sink);
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+}
+BENCHMARK(BM_SchedulerChurn_arena);
+
+// --- packet datapath: fig4-style star ----------------------------------------
+// The BSP-transfer shape of fig4: N hosts on a switch, every host streams
+// UDP datagrams to its ring neighbor through the full network datapath
+// (routing, per-hop channel resolution, serialization/propagation events,
+// taps off). items_per_second = packets delivered end to end (each crosses
+// two channels: host -> switch -> host).
+void BM_StarForwarding(benchmark::State& state) {
+  const int n_hosts = static_cast<int>(state.range(0));
+  sim::Simulator sim;
+  net::Network network(sim);
+  const net::NodeId sw = network.add_router("switch");
+  std::vector<net::NodeId> hosts;
+  net::LinkConfig link;
+  link.bits_per_sec = 1e9;
+  link.prop_delay = micros(5);
+  for (int i = 0; i < n_hosts; ++i) {
+    hosts.push_back(network.add_host("host-" + std::to_string(i)));
+    network.add_link(hosts.back(), sw, link);
+  }
+  network.compute_routes();
+
+  transport::TransportStack stack(network);
+  std::vector<std::shared_ptr<transport::UdpSocket>> socks;
+  std::uint64_t received = 0;
+  for (int i = 0; i < n_hosts; ++i) {
+    socks.push_back(stack.udp_bind(hosts[static_cast<std::size_t>(i)], 4000));
+    socks.back()->set_on_receive([&received](net::Packet&&) { ++received; });
+  }
+
+  constexpr int kPacketsPerHostPerRound = 64;
+  std::uint64_t sent = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < n_hosts; ++i) {
+      const auto dst = static_cast<std::size_t>((i + 1) % n_hosts);
+      for (int k = 0; k < kPacketsPerHostPerRound; ++k) {
+        // 1.2 us apart: the senders interleave, so the switch's per-hop
+        // forwarding path (channel resolution + enqueue) stays hot.
+        sim.schedule_at(sim.now() + static_cast<SimTime>(k) * 1'200,
+                        [&socks, i, dst] {
+                          socks[static_cast<std::size_t>(i)]->send_to(
+                              socks[dst]->host(), 4000, 1'000);
+                        });
+      }
+    }
+    sent += static_cast<std::uint64_t>(n_hosts) * kPacketsPerHostPerRound;
+    sim.run();
+  }
+  VW_REQUIRE(received == sent, "star forwarding lost packets (", received, " of ", sent, ")");
+  state.SetItemsProcessed(static_cast<std::int64_t>(received));
+}
+BENCHMARK(BM_StarForwarding)->Arg(8)->Arg(32);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  vw::contracts::set_audit_enabled(false);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -137,7 +137,8 @@ void Channel::finish_service() {
 
   // serving_ stays true through the callbacks: a zero-propagation delivery
   // can recursively enqueue onto this very channel, and must not start a
-  // second concurrent service.
+  // second concurrent service. The serialized hook sees the packet mutable
+  // so the network can stamp wire_time before the outgoing tap fires.
   if (on_serialized_) on_serialized_(pkt, sim_.now());
   if (prop_delay_ == 0) {
     if (on_delivered_) on_delivered_(std::move(pkt));

@@ -2,7 +2,6 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <optional>
 #include <unordered_map>
 
@@ -38,10 +37,11 @@ struct ChannelStats {
 class Channel {
  public:
   /// `on_serialized` fires when a packet finishes serializing onto the wire
-  /// (used for source-host outgoing taps); `on_delivered` fires when it
-  /// arrives at the receiving end of the channel.
-  using SerializedFn = std::function<void(const Packet&, SimTime)>;
-  using DeliveredFn = std::function<void(Packet&&)>;
+  /// (used for source-host outgoing taps); the packet is mutable so the
+  /// network can stamp `wire_time` without const_cast before taps observe
+  /// it. `on_delivered` fires when it arrives at the receiving end.
+  using SerializedFn = SmallFn<void(Packet&, SimTime)>;
+  using DeliveredFn = SmallFn<void(Packet&&)>;
 
   Channel(sim::Simulator& sim, ChannelId id, NodeId from, NodeId to, double bits_per_sec,
           SimTime prop_delay, std::int64_t queue_limit_bytes);

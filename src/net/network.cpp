@@ -24,6 +24,7 @@ NodeId Network::add_node(std::string name, bool is_host) {
   host_stacks_.emplace_back();
   taps_.emplace_back();
   routes_valid_ = false;
+  channel_index_valid_ = false;  // stride changes with the node count
   return id;
 }
 
@@ -36,13 +37,13 @@ void Network::add_link(NodeId a, NodeId b, const LinkConfig& config) {
                                         config.bits_per_sec, config.prop_delay,
                                         config.queue_limit_bytes);
     Channel* raw = ch.get();
-    raw->set_on_serialized([this, from](const Packet& pkt, SimTime t) {
+    raw->set_on_serialized([this, from](Packet& pkt, SimTime t) {
       // Outgoing tap at the source host only: fires when the packet has
       // fully serialized onto the host's own access link (what a kernel
       // trace with NIC-level timestamps observes). Downstream hops must not
-      // re-fire the tap.
+      // re-fire the tap or re-stamp the wire time.
       if (pkt.flow.src == from) {
-        const_cast<Packet&>(pkt).wire_time = t;
+        pkt.wire_time = t;
         fire_taps(pkt.flow.src, TapDirection::kOutgoing, t, pkt);
       }
     });
@@ -51,22 +52,32 @@ void Network::add_link(NodeId a, NodeId b, const LinkConfig& config) {
     channels_.push_back(std::move(ch));
   }
   routes_valid_ = false;
+  channel_index_valid_ = false;
+}
+
+void Network::rebuild_channel_index() {
+  index_stride_ = nodes_.size();
+  channel_index_.assign(index_stride_ * index_stride_, nullptr);
+  for (const auto& [pair, ch] : channel_by_pair_) {
+    channel_index_[static_cast<std::size_t>(pair.first) * index_stride_ + pair.second] = ch;
+  }
+  channel_index_valid_ = true;
 }
 
 Channel& Network::channel(NodeId from, NodeId to) {
-  auto it = channel_by_pair_.find({from, to});
-  if (it == channel_by_pair_.end()) throw std::out_of_range("channel: no such link");
-  return *it->second;
+  Channel* ch = find_channel(from, to);
+  if (ch == nullptr) throw std::out_of_range("channel: no such link");
+  return *ch;
 }
 
 const Channel& Network::channel(NodeId from, NodeId to) const {
-  auto it = channel_by_pair_.find({from, to});
-  if (it == channel_by_pair_.end()) throw std::out_of_range("channel: no such link");
-  return *it->second;
+  const Channel* ch = find_channel(from, to);
+  if (ch == nullptr) throw std::out_of_range("channel: no such link");
+  return *ch;
 }
 
 bool Network::has_channel(NodeId from, NodeId to) const {
-  return channel_by_pair_.contains({from, to});
+  return find_channel(from, to) != nullptr;
 }
 
 void Network::compute_routes() {
@@ -103,6 +114,9 @@ void Network::compute_routes() {
     next_hop_[src] = std::move(first_hop);
   }
   routes_valid_ = true;
+  // The dense index shares the routing tables' lifecycle: packets only flow
+  // after compute_routes, so the hot path always sees a valid index.
+  rebuild_channel_index();
 }
 
 NodeId Network::next_hop(NodeId at, NodeId dst) const {
@@ -168,16 +182,23 @@ void Network::send(Packet pkt) {
 void Network::forward(Packet&& pkt, NodeId at) {
   const NodeId nh = next_hop(at, pkt.flow.dst);
   if (nh == kInvalidNode) return;  // unreachable: silently dropped (like IP)
-  channel(at, nh).enqueue(std::move(pkt));
+  Channel* ch = find_channel(at, nh);
+  VW_ASSERT(ch != nullptr, "Network::forward: next hop without a channel (", at, " -> ", nh, ")");
+  ch->enqueue(std::move(pkt));
 }
 
 void Network::handle_arrival(Packet&& pkt, NodeId at) {
   if (at == pkt.flow.dst) {
-    const auto it = endpoint_delays_.find({pkt.flow.src, pkt.flow.dst});
-    if (it != endpoint_delays_.end() && it->second > 0) {
-      sim_.schedule_in(it->second,
-                       [this, pkt = std::move(pkt)]() mutable { deliver_to_host(std::move(pkt)); });
-      return;
+    // Endpoint-delay emulation is the exception, not the rule: skip the map
+    // probe entirely on topologies that never configured one.
+    if (!endpoint_delays_.empty()) {
+      const auto it = endpoint_delays_.find({pkt.flow.src, pkt.flow.dst});
+      if (it != endpoint_delays_.end() && it->second > 0) {
+        sim_.schedule_in(it->second, [this, pkt = std::move(pkt)]() mutable {
+          deliver_to_host(std::move(pkt));
+        });
+        return;
+      }
     }
     deliver_to_host(std::move(pkt));
     return;
@@ -188,7 +209,7 @@ void Network::handle_arrival(Packet&& pkt, NodeId at) {
 void Network::deliver_to_host(Packet&& pkt) {
   ++packets_delivered_;
   fire_taps(pkt.flow.dst, TapDirection::kIncoming, sim_.now(), pkt);
-  auto& stack = host_stacks_.at(pkt.flow.dst);
+  auto& stack = host_stacks_[pkt.flow.dst];
   if (stack) stack(std::move(pkt));
 }
 
@@ -208,8 +229,12 @@ void Network::remove_host_tap(NodeId host, TapId id) {
 }
 
 void Network::fire_taps(NodeId host, TapDirection dir, SimTime t, const Packet& pkt) {
-  for (const auto& [id, fn] : taps_.at(host)) {
-    fn(TapEvent{dir, t, &pkt});
+  auto& list = taps_[host];
+  if (list.empty()) return;
+  // One event object shared across the host's taps — no per-tap re-wrapping.
+  const TapEvent ev{dir, t, &pkt};
+  for (auto& [id, fn] : list) {
+    fn(ev);
   }
 }
 

@@ -1,7 +1,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -19,7 +18,7 @@
 namespace vw::net {
 
 using TapId = std::uint64_t;
-using HostStackFn = std::function<void(Packet&&)>;
+using HostStackFn = SmallFn<void(Packet&&)>;
 
 struct NodeInfo {
   std::string name;
@@ -102,11 +101,32 @@ class Network {
   void deliver_to_host(Packet&& pkt);
   void forward(Packet&& pkt, NodeId at);
   void fire_taps(NodeId host, TapDirection dir, SimTime t, const Packet& pkt);
+  void rebuild_channel_index();
+
+  /// Hot-path channel resolution: a single indexed load once the dense
+  /// index has been built (compute_routes); falls back to the ordered map
+  /// during cold construction-time queries. nullptr when absent.
+  Channel* find_channel(NodeId from, NodeId to) const {
+    if (channel_index_valid_) {
+      if (from >= index_stride_ || to >= index_stride_) return nullptr;
+      return channel_index_[static_cast<std::size_t>(from) * index_stride_ + to];
+    }
+    auto it = channel_by_pair_.find({from, to});
+    return it == channel_by_pair_.end() ? nullptr : it->second;
+  }
 
   sim::Simulator& sim_;
   std::vector<NodeInfo> nodes_;
   std::vector<std::unique_ptr<Channel>> channels_;
+  // Cold-path owner of the (from, to) -> channel relation: construction,
+  // duplicate-link checks, and the deterministic iteration order
+  // compute_routes depends on. The hot path never hashes or searches it —
+  // it goes through channel_index_, a dense n x n pointer matrix rebuilt
+  // alongside the routing tables.
   std::map<std::pair<NodeId, NodeId>, Channel*> channel_by_pair_;
+  std::vector<Channel*> channel_index_;  ///< [from * index_stride_ + to]
+  std::size_t index_stride_ = 0;
+  bool channel_index_valid_ = false;
   std::vector<HostStackFn> host_stacks_;
   std::vector<std::vector<std::pair<TapId, TapFn>>> taps_;
   std::map<std::pair<NodeId, NodeId>, SimTime> endpoint_delays_;

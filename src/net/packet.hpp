@@ -5,6 +5,7 @@
 #include <functional>
 #include <memory>
 
+#include "util/small_fn.hpp"
 #include "util/time.hpp"
 
 // The wire-level packet model. Packets are value types; the optional
@@ -57,7 +58,10 @@ struct Packet {
   bool fin = false;
 
   /// Opaque upper-layer object delivered with the packet (UDP datagrams).
-  std::shared_ptr<const std::any> user_data;
+  /// The pointer rides in the moved packet hop to hop, so its refcount is
+  /// touched exactly once per end-to-end delivery; receivers of the final
+  /// Packet&& may move the payload out instead of copying it.
+  std::shared_ptr<std::any> user_data;
 
   // Stamped by the network.
   std::uint64_t id = 0;       ///< unique per Network, for tracing
@@ -76,6 +80,6 @@ struct TapEvent {
   const Packet* packet;
 };
 
-using TapFn = std::function<void(const TapEvent&)>;
+using TapFn = SmallFn<void(const TapEvent&)>;
 
 }  // namespace vw::net

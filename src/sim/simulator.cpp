@@ -6,59 +6,99 @@
 
 namespace vw::sim {
 
+namespace {
+constexpr std::uint64_t encode_handle(std::uint32_t slot, std::uint32_t gen) {
+  return (static_cast<std::uint64_t>(slot) + 1) << 32 | gen;
+}
+constexpr std::uint32_t handle_slot(std::uint64_t id) {
+  return static_cast<std::uint32_t>(id >> 32) - 1;
+}
+constexpr std::uint32_t handle_gen(std::uint64_t id) { return static_cast<std::uint32_t>(id); }
+}  // namespace
+
+std::uint32_t Simulator::acquire_slot() {
+  if (free_head_ != kNoSlot) {
+    const std::uint32_t index = free_head_;
+    free_head_ = slots_[index].next_free;
+    return index;
+  }
+  VW_ASSERT(slots_.size() < kNoSlot, "Simulator: slot arena exhausted");
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void Simulator::release_slot(std::uint32_t index) {
+  Slot& slot = slots_[index];
+  slot.live = false;
+  slot.cb = nullptr;
+  // The generation bump is what invalidates both the heap entry still
+  // referencing this slot and any EventHandle the caller kept around.
+  ++slot.gen;
+  slot.next_free = free_head_;
+  free_head_ = index;
+}
+
 EventHandle Simulator::schedule_at(SimTime at, Callback cb) {
   VW_REQUIRE(at >= now_, "Simulator::schedule_at: time in the past (at=", at, " now=", now_, ")");
   VW_REQUIRE(cb != nullptr, "Simulator::schedule_at: empty callback");
-  const std::uint64_t id = next_id_++;
-  queue_.push(Event{at, next_seq_++, id, std::move(cb)});
-  pending_ids_.insert(id);
+  const std::uint32_t index = acquire_slot();
+  Slot& slot = slots_[index];
+  slot.cb = std::move(cb);
+  slot.live = true;
+  queue_.push(QueueEntry{at, next_seq_++, index, slot.gen});
   ++live_events_;
-  return EventHandle(id);
+  return EventHandle(encode_handle(index, slot.gen));
 }
 
 bool Simulator::cancel(EventHandle handle) {
   if (!handle.valid()) return false;
-  auto it = pending_ids_.find(handle.id_);
-  if (it == pending_ids_.end()) return false;  // already executed or cancelled
-  pending_ids_.erase(it);
-  cancelled_.insert(handle.id_);
+  const std::uint32_t index = handle_slot(handle.id_);
+  if (index >= slots_.size()) return false;
+  Slot& slot = slots_[index];
+  if (!slot.live || slot.gen != handle_gen(handle.id_)) {
+    return false;  // already executed, cancelled, or the slot was reused
+  }
+  release_slot(index);
   VW_ASSERT(live_events_ > 0, "Simulator::cancel: live-event count underflow");
   --live_events_;
   return true;
 }
 
-bool Simulator::pop_and_run_next() {
+bool Simulator::drop_stale_heads() {
+  // Pop cancelled entries off the heap head (without advancing time) until a
+  // live event — identified by a matching slot generation — or nothing is
+  // left. Shared by run_until's boundary check and pop_and_run_next.
   while (!queue_.empty()) {
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    const QueueEntry& top = queue_.top();
+    const Slot& slot = slots_[top.slot];
+    if (slot.live && slot.gen == top.gen) return true;
     queue_.pop();
-    if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
-    }
-    pending_ids_.erase(ev.id);
-    // Virtual time is monotone: the heap must never yield an event behind the
-    // clock — everything downstream (TCP RTT samples, Wren timestamps, VTTIF
-    // slots) assumes it.
-    VW_ASSERT(ev.at >= now_, "Simulator: event time regressed (at=", ev.at, " now=", now_, ")");
-    VW_ASSERT(live_events_ > 0, "Simulator: executing with zero live events");
-    now_ = ev.at;
-    --live_events_;
-    ++executed_;
-    ev.cb();
-    return true;
   }
   return false;
 }
 
+bool Simulator::pop_and_run_next() {
+  if (!drop_stale_heads()) return false;
+  const QueueEntry entry = queue_.top();
+  queue_.pop();
+  // Move the callback out and free the slot *before* invoking: the callback
+  // may schedule new events that reuse this very slot.
+  Callback cb = std::move(slots_[entry.slot].cb);
+  release_slot(entry.slot);
+  // Virtual time is monotone: the heap must never yield an event behind the
+  // clock — everything downstream (TCP RTT samples, Wren timestamps, VTTIF
+  // slots) assumes it.
+  VW_ASSERT(entry.at >= now_, "Simulator: event time regressed (at=", entry.at, " now=", now_, ")");
+  VW_ASSERT(live_events_ > 0, "Simulator: executing with zero live events");
+  now_ = entry.at;
+  --live_events_;
+  ++executed_;
+  cb();
+  return true;
+}
+
 void Simulator::run_until(SimTime until) {
-  while (!queue_.empty()) {
-    // Skip cancelled heads without advancing time.
-    if (cancelled_.contains(queue_.top().id)) {
-      cancelled_.erase(queue_.top().id);
-      queue_.pop();
-      continue;
-    }
-    if (queue_.top().at > until) break;
+  while (drop_stale_heads() && queue_.top().at <= until) {
     pop_and_run_next();
   }
   if (now_ < until) now_ = until;

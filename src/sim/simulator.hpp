@@ -1,11 +1,10 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "util/small_fn.hpp"
 #include "util/time.hpp"
 
 // Discrete-event simulation engine.
@@ -16,10 +15,23 @@
 //  * events can be cancelled in O(1) (lazily discarded on pop), which the
 //    TCP retransmission timers use heavily;
 //  * the engine is purely single-threaded; "processes" are callbacks.
+//
+// Hot-path design (see DESIGN.md §5e): callbacks are small-buffer-optimized
+// (`SmallFn`, 120 inline bytes — enough for `this` + a Packet capture), so
+// the steady state never heap-allocates per event. Live events are tracked
+// in a generation-stamped slot arena with an intrusive free list instead of
+// hash sets: the binary heap holds 24-byte POD entries referencing a slot,
+// and a cancel simply bumps the slot's generation, which orphans the heap
+// entry. schedule/cancel/pop are therefore O(log n) heap operations with
+// zero hashing and zero allocation once the arena and heap have grown to
+// the workload's high-water mark.
 
 namespace vw::sim {
 
-/// Opaque handle to a scheduled event, usable to cancel it.
+/// Opaque handle to a scheduled event, usable to cancel it. Encodes
+/// (slot index, generation); a stale handle (event fired or cancelled,
+/// slot possibly reused) never matches the slot's current generation, so
+/// cancelling it is a safe no-op.
 class EventHandle {
  public:
   EventHandle() = default;
@@ -28,12 +40,14 @@ class EventHandle {
  private:
   friend class Simulator;
   explicit EventHandle(std::uint64_t id) : id_(id) {}
-  std::uint64_t id_ = 0;
+  std::uint64_t id_ = 0;  ///< (slot + 1) << 32 | generation; 0 = invalid
 };
 
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  /// Inline capture capacity: a propagation-delay continuation captures
+  /// `this` plus a moved Packet (~96 bytes) and must not allocate.
+  using Callback = SmallFn<void(), 120>;
 
   /// Current virtual time.
   SimTime now() const { return now_; }
@@ -42,7 +56,9 @@ class Simulator {
   EventHandle schedule_at(SimTime at, Callback cb);
 
   /// Schedule `cb` `delay` ns from now (delay >= 0).
-  EventHandle schedule_in(SimTime delay, Callback cb) { return schedule_at(now_ + delay, cb); }
+  EventHandle schedule_in(SimTime delay, Callback cb) {
+    return schedule_at(now_ + delay, std::move(cb));
+  }
 
   /// Cancel a previously scheduled event. Safe to call on fired, already
   /// cancelled, or default-constructed handles (no-op). Returns whether the
@@ -64,31 +80,40 @@ class Simulator {
   std::uint64_t events_executed() const { return executed_; }
 
  private:
-  struct Event {
+  /// Heap entry: plain data only; the callback stays in the slot arena so
+  /// sift operations move 24 bytes instead of a type-erased callable.
+  struct QueueEntry {
     SimTime at;
     std::uint64_t seq;  ///< tie-break: FIFO among same-time events
-    std::uint64_t id;
-    Callback cb;
+    std::uint32_t slot;
+    std::uint32_t gen;  ///< must match the slot's generation to be live
   };
   struct Later {
-    bool operator()(const Event& a, const Event& b) const {
+    bool operator()(const QueueEntry& a, const QueueEntry& b) const {
       if (a.at != b.at) return a.at > b.at;
       return a.seq > b.seq;
     }
   };
+  struct Slot {
+    Callback cb;
+    std::uint32_t gen = 0;
+    std::uint32_t next_free = kNoSlot;
+    bool live = false;
+  };
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
 
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t index);
+  bool drop_stale_heads();
   bool pop_and_run_next();
 
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
-  std::uint64_t next_id_ = 1;
   std::uint64_t executed_ = 0;
   std::size_t live_events_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  // Ids currently live in the queue (scheduled, not executed, not cancelled)
-  // and ids cancelled but not yet lazily discarded from the heap.
-  std::unordered_set<std::uint64_t> pending_ids_;
-  std::unordered_set<std::uint64_t> cancelled_;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, Later> queue_;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNoSlot;
 };
 
 /// Repeatedly invokes a callback at a fixed period until stopped.

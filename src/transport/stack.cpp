@@ -45,7 +45,7 @@ void TransportStack::dispatch(net::Packet&& pkt) {
 void TransportStack::handle_udp(net::Packet&& pkt) {
   auto it = udp_socks_.find({pkt.flow.dst, pkt.flow.dst_port});
   if (it == udp_socks_.end()) return;  // no listener: drop
-  it->second->handle_packet(pkt);
+  it->second->handle_packet(std::move(pkt));
 }
 
 void TransportStack::handle_tcp(net::Packet&& pkt) {

@@ -1,5 +1,7 @@
 #include "transport/udp.hpp"
 
+#include <utility>
+
 namespace vw::transport {
 
 UdpSocket::UdpSocket(TransportStack& stack, net::NodeId host, std::uint16_t port)
@@ -8,7 +10,7 @@ UdpSocket::UdpSocket(TransportStack& stack, net::NodeId host, std::uint16_t port
 UdpSocket::~UdpSocket() { stack_.unregister_udp(host_, port_); }
 
 void UdpSocket::send_to(net::NodeId dst, std::uint16_t dst_port, std::uint32_t payload_bytes,
-                        std::shared_ptr<const std::any> data) {
+                        std::shared_ptr<std::any> data) {
   net::Packet pkt;
   pkt.flow = net::FlowKey{host_, dst, port_, dst_port, net::Protocol::kUdp};
   pkt.payload_bytes = payload_bytes;
@@ -20,9 +22,9 @@ void UdpSocket::send_to(net::NodeId dst, std::uint16_t dst_port, std::uint32_t p
   stack_.network().send(std::move(pkt));
 }
 
-void UdpSocket::handle_packet(const net::Packet& pkt) {
+void UdpSocket::handle_packet(net::Packet&& pkt) {
   ++received_;
-  if (on_receive_) on_receive_(pkt);
+  if (on_receive_) on_receive_(std::move(pkt));
 }
 
 }  // namespace vw::transport

@@ -16,7 +16,10 @@ namespace vw::transport {
 
 class UdpSocket {
  public:
-  using ReceiveFn = std::function<void(const net::Packet&)>;
+  /// Receives the delivered packet by rvalue: the socket is the end of the
+  /// datapath, so the handler may move `user_data` out instead of bumping
+  /// refcounts. Handlers taking `const net::Packet&` still bind.
+  using ReceiveFn = std::function<void(net::Packet&&)>;
 
   ~UdpSocket();
 
@@ -26,7 +29,7 @@ class UdpSocket {
   /// Send a datagram of `payload_bytes` to (dst, dst_port); `data` rides
   /// along opaquely and is handed to the receiver's callback.
   void send_to(net::NodeId dst, std::uint16_t dst_port, std::uint32_t payload_bytes,
-               std::shared_ptr<const std::any> data = nullptr);
+               std::shared_ptr<std::any> data = nullptr);
 
   void set_on_receive(ReceiveFn fn) { on_receive_ = std::move(fn); }
 
@@ -39,7 +42,7 @@ class UdpSocket {
   friend class TransportStack;
 
   UdpSocket(TransportStack& stack, net::NodeId host, std::uint16_t port);
-  void handle_packet(const net::Packet& pkt);
+  void handle_packet(net::Packet&& pkt);
 
   TransportStack& stack_;
   net::NodeId host_;

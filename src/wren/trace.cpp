@@ -1,9 +1,13 @@
 #include "wren/trace.hpp"
 
+#include "util/check.hpp"
+
 namespace vw::wren {
 
 TraceFacility::TraceFacility(net::Network& network, net::NodeId host, std::size_t capacity)
     : network_(network), host_(host), capacity_(capacity) {
+  VW_REQUIRE(capacity_ > 0, "TraceFacility: capacity must be positive");
+  ring_.resize(capacity_);  // the single allocation this facility ever makes
   tap_id_ = network_.add_host_tap(host, [this](const net::TapEvent& ev) { on_tap(ev); });
 }
 
@@ -17,12 +21,19 @@ void TraceFacility::set_obs(const obs::Scope& scope) {
 void TraceFacility::on_tap(const net::TapEvent& ev) {
   const net::Packet& pkt = *ev.packet;
   if (pkt.flow.proto != net::Protocol::kTcp) return;
-  if (buffer_.size() >= capacity_) {
+  std::size_t write;
+  if (size_ == capacity_) {
+    // Full: overwrite the oldest record in place (drop-oldest semantics).
+    write = head_;
+    head_ = head_ + 1 == capacity_ ? 0 : head_ + 1;
     ++dropped_;
     obs::add(c_dropped_);
-    buffer_.pop_front();
+  } else {
+    write = head_ + size_;
+    if (write >= capacity_) write -= capacity_;
+    ++size_;
   }
-  buffer_.push_back(PacketRecord{
+  ring_[write] = PacketRecord{
       .timestamp = ev.timestamp,
       .direction = ev.direction,
       .flow = pkt.flow,
@@ -32,14 +43,21 @@ void TraceFacility::on_tap(const net::TapEvent& ev) {
       .ack = pkt.ack,
       .is_ack = pkt.is_ack,
       .syn = pkt.syn,
-  });
+  };
   ++captured_;
   obs::add(c_captured_);
 }
 
 std::vector<PacketRecord> TraceFacility::collect() {
-  std::vector<PacketRecord> out(buffer_.begin(), buffer_.end());
-  buffer_.clear();
+  std::vector<PacketRecord> out;
+  out.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) {
+    std::size_t idx = head_ + i;
+    if (idx >= capacity_) idx -= capacity_;
+    out.push_back(ring_[idx]);
+  }
+  head_ = 0;
+  size_ = 0;
   return out;
 }
 

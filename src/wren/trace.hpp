@@ -1,7 +1,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "net/network.hpp"
@@ -53,7 +52,7 @@ class TraceFacility {
   net::NodeId host() const { return host_; }
   std::uint64_t records_captured() const { return captured_; }
   std::uint64_t records_dropped() const { return dropped_; }
-  std::size_t buffered() const { return buffer_.size(); }
+  std::size_t buffered() const { return size_; }
 
  private:
   void on_tap(const net::TapEvent& ev);
@@ -62,7 +61,12 @@ class TraceFacility {
   net::NodeId host_;
   std::size_t capacity_;
   net::TapId tap_id_;
-  std::deque<PacketRecord> buffer_;
+  // Fixed-capacity ring, allocated once at construction. `head_` is the
+  // oldest record; overflow overwrites it (drop-oldest, like the kernel
+  // buffer Wren drains) without any deque node churn.
+  std::vector<PacketRecord> ring_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
   std::uint64_t captured_ = 0;
   std::uint64_t dropped_ = 0;
   obs::Counter* c_captured_ = nullptr;

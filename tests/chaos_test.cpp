@@ -492,6 +492,18 @@ TEST(ChaosScenarioTest, DeterministicUnderTheSameSeed) {
   EXPECT_EQ(a.signature, b.signature);
 }
 
+TEST(ChaosScenarioTest, DatapathOverhaulPreservesGoldenSignatures) {
+  // Differential gate for the event-engine/datapath overhaul: these run
+  // signatures were recorded on the pre-overhaul engine (commit 943c2a9,
+  // std::function events + hash-set cancellation + per-hop map routing) for
+  // the fig10-style challenge scenario. The slot-arena scheduler, SmallFn
+  // callbacks, dense channel index, and move-forward packet path must
+  // reproduce them bit-for-bit — any ordering drift in the rebuilt hot path
+  // shows up here as a changed migration/reconnect/delivery count.
+  EXPECT_EQ(run_chaos_scenario(42).signature, "7,6,5,2,4,1,3,12,3,6,158,843,3");
+  EXPECT_EQ(run_chaos_scenario(7).signature, "7,6,5,2,4,1,3,12,3,6,158,843,3");
+}
+
 TEST(ChaosScenarioTest, SecondSeedAlsoSurvives) {
   const ChaosResult r = run_chaos_scenario(7);
   EXPECT_TRUE(r.all_attached);

@@ -289,7 +289,7 @@ TEST(UdpTest, UserDataRidesAlong) {
   rx->set_on_receive([&](const net::Packet& p) {
     if (p.user_data) got = std::any_cast<std::string>(*p.user_data);
   });
-  tx->send_to(env.b, 5000, 10, std::make_shared<const std::any>(std::string("hello")));
+  tx->send_to(env.b, 5000, 10, std::make_shared<std::any>(std::string("hello")));
   env.sim.run();
   EXPECT_EQ(got, "hello");
 }

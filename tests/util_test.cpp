@@ -3,12 +3,16 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
+#include <cstdint>
+#include <memory>
 #include <sstream>
 
 #include "util/csv.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
+#include "util/small_fn.hpp"
 #include "util/stats.hpp"
 #include "util/time.hpp"
 #include "util/trend.hpp"
@@ -354,6 +358,65 @@ TEST(LogTest, TimestampsFromClock) {
   Logger log(&os, LogLevel::kInfo, [] { return seconds(1.5); });
   log.info("comp", "msg");
   EXPECT_NE(os.str().find("[1.500000s]"), std::string::npos);
+}
+
+// --- SmallFn (the event engine's SBO callback) -------------------------------
+
+TEST(SmallFnTest, SmallCaptureStaysInline) {
+  int x = 41;
+  SmallFn<int()> f = [&x] { return x + 1; };
+  EXPECT_TRUE(f.is_inline());
+  EXPECT_EQ(f(), 42);
+}
+
+TEST(SmallFnTest, OversizedCaptureFallsBackToHeap) {
+  std::array<std::uint64_t, 16> big{};  // 128 bytes > the 48-byte default
+  big[7] = 7;
+  SmallFn<std::uint64_t()> f = [big] { return big[7]; };
+  EXPECT_FALSE(f.is_inline());
+  EXPECT_EQ(f(), 7u);
+}
+
+TEST(SmallFnTest, MoveOnlyCapturesWork) {
+  auto p = std::make_unique<int>(5);
+  SmallFn<int()> f = [p = std::move(p)] { return *p; };
+  EXPECT_EQ(f(), 5);
+  SmallFn<int()> g = std::move(f);
+  EXPECT_EQ(g(), 5);
+  EXPECT_TRUE(f == nullptr);  // NOLINT(bugprone-use-after-move): documented
+}
+
+TEST(SmallFnTest, DestroysCaptureExactlyOnce) {
+  auto token = std::make_shared<int>(0);
+  EXPECT_EQ(token.use_count(), 1);
+  {
+    SmallFn<void()> f = [token] {};
+    EXPECT_EQ(token.use_count(), 2);
+    SmallFn<void()> g = std::move(f);
+    EXPECT_EQ(token.use_count(), 2);  // moved, not copied
+    g = nullptr;
+    EXPECT_EQ(token.use_count(), 1);
+  }
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(SmallFnTest, HeapPayloadSurvivesMove) {
+  std::array<std::uint64_t, 16> big{};
+  big[0] = 99;
+  SmallFn<std::uint64_t()> f = [big] { return big[0]; };
+  SmallFn<std::uint64_t()> g;
+  g = std::move(f);
+  EXPECT_FALSE(g.is_inline());
+  EXPECT_EQ(g(), 99u);
+}
+
+TEST(SmallFnTest, ReassignmentReplacesCallable) {
+  SmallFn<int(int)> f = [](int v) { return v + 1; };
+  EXPECT_EQ(f(1), 2);
+  f = [](int v) { return v * 10; };
+  EXPECT_EQ(f(3), 30);
+  f = nullptr;
+  EXPECT_FALSE(static_cast<bool>(f));
 }
 
 TEST(LogTest, LogcatConcatenates) {

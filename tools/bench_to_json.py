@@ -1,17 +1,27 @@
 #!/usr/bin/env python3
-"""Run the micro_vadapt_incremental benchmark and emit BENCH_vadapt.json.
+"""Run a micro-benchmark suite and emit its BENCH_*.json summary.
 
-Wraps the google-benchmark binary's JSON reporter and derives the numbers
-the PR's acceptance criterion is stated in: SA-iteration throughput
-(items_per_second) for the full-rescore and incremental evaluation
-backends at n_hosts=32 / n_vms=8, and their ratio. Both variants drive the
-annealer with the identical RNG stream and make bit-identical decisions
-(tests/vadapt_incremental_test.cpp proves this), so the ratio is a pure
-cost-structure speedup.
+Two suites:
+
+  * ``vadapt`` (default) — wraps ``micro_vadapt_incremental`` into
+    BENCH_vadapt.json: SA-iteration throughput (items_per_second) for the
+    full-rescore and incremental evaluation backends at n_hosts=32 /
+    n_vms=8, and their ratio. Both variants drive the annealer with the
+    identical RNG stream and make bit-identical decisions
+    (tests/vadapt_incremental_test.cpp proves this), so the ratio is a pure
+    cost-structure speedup.
+
+  * ``datapath`` — wraps ``micro_datapath`` into BENCH_datapath.json:
+    scheduler ops/sec on the churn workload for the pre-overhaul baseline
+    replica (std::function + hash-set cancellation, compiled into the same
+    binary) and the slot-arena engine, their speedup, and end-to-end star
+    packets/sec. ``--gate`` (default 3.0 for this suite) makes the script
+    exit nonzero when the scheduler speedup falls below the acceptance
+    criterion, which is how CI enforces the perf gate.
 
 Usage:
-    tools/bench_to_json.py [--build-dir build] [--output BENCH_vadapt.json]
-                           [--quick]
+    tools/bench_to_json.py [--suite vadapt|datapath] [--build-dir build]
+                           [--output FILE] [--quick] [--gate X]
 
 Only the standard library is used.
 """
@@ -51,25 +61,7 @@ def items_per_second(benchmarks: list, name: str) -> float:
     raise KeyError(f"benchmark {name!r} not found in report")
 
 
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--build-dir", default="build")
-    parser.add_argument("--output", default="BENCH_vadapt.json")
-    parser.add_argument(
-        "--quick",
-        action="store_true",
-        help="short timing windows (CI smoke); numbers are noisier",
-    )
-    args = parser.parse_args()
-
-    binary = os.path.join(args.build_dir, "bench", "micro_vadapt_incremental")
-    if not os.path.exists(binary):
-        print(f"error: {binary} not found (build the repo first)", file=sys.stderr)
-        return 1
-
-    report = run_benchmark(binary, args.quick)
-    benchmarks = report.get("benchmarks", [])
-
+def vadapt_summary(benchmarks: list) -> dict:
     def variant(prefix: str) -> dict:
         full = items_per_second(benchmarks, f"{prefix}/full")
         incremental = items_per_second(benchmarks, f"{prefix}/incremental")
@@ -79,31 +71,132 @@ def main() -> int:
             "speedup": incremental / full if full > 0 else None,
         }
 
-    result = {
-        "bench": "micro_vadapt_incremental",
-        "git_revision": git_revision(),
-        "quick": args.quick,
+    return {
         "problem": {"n_hosts": 32, "n_vms": 8, "demands": "8-VM ring @ 20 Mb/s"},
         "sa_iteration_throughput": {
             "residual_bw_eq1": variant("BM_AnnealingIteration"),
             "residual_bw_latency_eq3": variant("BM_AnnealingIterationEq3"),
         },
+    }
+
+
+def datapath_summary(benchmarks: list) -> dict:
+    baseline = items_per_second(benchmarks, "BM_SchedulerChurn_baseline")
+    arena = items_per_second(benchmarks, "BM_SchedulerChurn_arena")
+    return {
+        "workload": {
+            "scheduler_churn": "1024-timer batches, 2/3 cancelled before firing, "
+            "Packet-sized (96 B) captures",
+            "star_forwarding": "fig4-style star, UDP ring traffic, "
+            "packets delivered end to end",
+        },
+        "scheduler_churn": {
+            # `baseline` replicates the pre-overhaul engine (std::function
+            # events + pending/cancelled hash sets) inside the same binary,
+            # so the speedup is a same-compiler same-machine comparison.
+            "baseline_ops_per_sec": baseline,
+            "arena_ops_per_sec": arena,
+            "speedup": arena / baseline if baseline > 0 else None,
+        },
+        "star_forwarding_packets_per_sec": {
+            "hosts_8": items_per_second(benchmarks, "BM_StarForwarding/8"),
+            "hosts_32": items_per_second(benchmarks, "BM_StarForwarding/32"),
+        },
+    }
+
+
+SUITES = {
+    "vadapt": {
+        "binary": "micro_vadapt_incremental",
+        "output": "BENCH_vadapt.json",
+        "summarize": vadapt_summary,
+        "default_gate": None,
+    },
+    "datapath": {
+        "binary": "micro_datapath",
+        "output": "BENCH_datapath.json",
+        "summarize": datapath_summary,
+        "default_gate": 3.0,
+    },
+}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--suite", choices=sorted(SUITES), default="vadapt")
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument("--output", default=None,
+                        help="defaults to the suite's BENCH_*.json")
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="short timing windows (CI smoke); numbers are noisier",
+    )
+    parser.add_argument(
+        "--gate",
+        type=float,
+        default=None,
+        help="minimum required speedup; exit 1 below it "
+        "(datapath default: 3.0, vadapt default: off)",
+    )
+    args = parser.parse_args()
+
+    suite = SUITES[args.suite]
+    output = args.output or suite["output"]
+    binary = os.path.join(args.build_dir, "bench", suite["binary"])
+    if not os.path.exists(binary):
+        print(f"error: {binary} not found (build the repo first)", file=sys.stderr)
+        return 1
+
+    report = run_benchmark(binary, args.quick)
+    benchmarks = report.get("benchmarks", [])
+
+    result = {
+        "bench": suite["binary"],
+        "git_revision": git_revision(),
+        "quick": args.quick,
+        **suite["summarize"](benchmarks),
         "context": report.get("context", {}),
         "benchmarks": benchmarks,
     }
 
-    with open(args.output, "w", encoding="utf-8") as fh:
+    with open(output, "w", encoding="utf-8") as fh:
         json.dump(result, fh, indent=2)
         fh.write("\n")
 
-    for key, v in result["sa_iteration_throughput"].items():
-        speedup = v["speedup"]
+    gate = args.gate if args.gate is not None else suite["default_gate"]
+    gate_failures = []
+    if args.suite == "vadapt":
+        for key, v in result["sa_iteration_throughput"].items():
+            speedup = v["speedup"]
+            print(
+                f"{key}: full={v['full_rescore_iters_per_sec']:.3g} it/s, "
+                f"incremental={v['incremental_iters_per_sec']:.3g} it/s, "
+                f"speedup={speedup:.2f}x"
+            )
+            if gate is not None and (speedup is None or speedup < gate):
+                gate_failures.append(f"{key}: {speedup:.2f}x < {gate:g}x")
+    else:
+        churn = result["scheduler_churn"]
+        speedup = churn["speedup"]
         print(
-            f"{key}: full={v['full_rescore_iters_per_sec']:.3g} it/s, "
-            f"incremental={v['incremental_iters_per_sec']:.3g} it/s, "
+            f"scheduler_churn: baseline={churn['baseline_ops_per_sec']:.3g} ops/s, "
+            f"arena={churn['arena_ops_per_sec']:.3g} ops/s, "
             f"speedup={speedup:.2f}x"
         )
-    print(f"wrote {args.output}")
+        star = result["star_forwarding_packets_per_sec"]
+        print(
+            f"star_forwarding: 8 hosts={star['hosts_8']:.3g} pkt/s, "
+            f"32 hosts={star['hosts_32']:.3g} pkt/s"
+        )
+        if gate is not None and (speedup is None or speedup < gate):
+            gate_failures.append(f"scheduler_churn: {speedup:.2f}x < {gate:g}x")
+
+    print(f"wrote {output}")
+    if gate_failures:
+        for failure in gate_failures:
+            print(f"GATE FAILED: {failure}", file=sys.stderr)
+        return 1
     return 0
 
 

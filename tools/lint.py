@@ -11,6 +11,10 @@ Checks (all cheap text scans; no compiler needed):
   * metric-name literals passed to counter("...")/gauge("...")/histogram("...")
     in src/ follow the dotted-lowercase grammar the obs registry enforces at
     runtime (catch bad names at lint time, not first telemetry-enabled run)
+  * no `std::function` in the packet-datapath hot-path headers (src/sim/ and
+    src/net/): per-event/per-hop callbacks must use vw::SmallFn so the steady
+    state never heap-allocates (src/net/fault.hpp is exempt — FaultPlan is a
+    cold construction-time scripting API, never on the per-packet path)
 
 Exit status 0 when clean, 1 when any finding is reported.
 """
@@ -37,6 +41,13 @@ BANNED_IO = re.compile(r"(?<![\w_])(std::cout|std::cerr|printf\s*\()")
 # obs::valid_metric_name: dot-separated non-empty runs of [a-z0-9_].
 METRIC_CALL = re.compile(r'(?<![\w_])(?:counter|gauge|histogram)\s*\(\s*"([^"]*)"')
 METRIC_NAME = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)*$")
+
+# The event-engine/datapath hot path: headers here define the per-event and
+# per-hop callback types, which must be SmallFn (zero steady-state
+# allocation), never std::function. fault.hpp is cold-path fault scripting.
+STD_FUNCTION = re.compile(r"(?<![\w_])std::function\b")
+HOT_PATH_DIRS = ("sim", "net")
+HOT_PATH_EXEMPT = {"net/fault.hpp"}
 
 
 def strip_comments(text: str) -> str:
@@ -101,6 +112,18 @@ def main() -> int:
         for i, line in enumerate(raw.splitlines(), start=1):
             if line != line.rstrip():
                 report(path, i, "trailing whitespace")
+
+        if (
+            in_src
+            and path.suffix in HEADER_EXTS
+            and path.relative_to(SRC).parts[0] in HOT_PATH_DIRS
+            and str(path.relative_to(SRC)) not in HOT_PATH_EXEMPT
+        ):
+            m = STD_FUNCTION.search(code)
+            if m:
+                report(path, line_of(code, m.start()),
+                       "std::function in a hot-path header; use vw::SmallFn "
+                       "(util/small_fn.hpp) so the datapath never allocates per event")
 
         if path.suffix in HEADER_EXTS:
             first_directive = next(
