@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <utility>
+#include <vector>
 
 #include "util/check.hpp"
 
@@ -55,8 +56,17 @@ SimTime Channel::current_queue_delay() const {
 }
 
 double Channel::reserved_bps() const {
+  // Sum in sorted flow order: reservations_ is a hash map and floating-point
+  // addition is not associative, so hash-order summation would make the
+  // admission threshold depend on container layout instead of on the
+  // reservation set itself.
+  std::vector<std::pair<FlowKey, double>> rates;
+  rates.reserve(reservations_.size());
+  // vwlint: unordered-ok(collection only; order normalized by the sort below)
+  for (const auto& [flow, r] : reservations_) rates.emplace_back(flow, r.rate_bps);
+  std::sort(rates.begin(), rates.end());
   double total = 0;
-  for (const auto& [flow, r] : reservations_) total += r.rate_bps;
+  for (const auto& [flow, rate] : rates) total += rate;
   return total;
 }
 

@@ -147,7 +147,7 @@ const MetricValue* MetricsSnapshot::find(std::string_view name) const {
 MetricsRegistry::Entry& MetricsRegistry::entry_for(std::string_view name, InstrumentKind kind) {
   VW_REQUIRE(valid_metric_name(name), "MetricsRegistry: invalid instrument name '", name,
              "' (want dot-separated [a-z0-9_] runs)");
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = entries_.find(name);
   if (it == entries_.end()) {
     Entry entry;
@@ -179,7 +179,7 @@ Histogram& MetricsRegistry::histogram(std::string_view name) {
 MetricsSnapshot MetricsRegistry::snapshot(std::string_view prefix) const {
   MetricsSnapshot snap;
   snap.taken_at = clock_ ? clock_() : 0;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   snap.metrics.reserve(entries_.size());
   for (const auto& [name, entry] : entries_) {
     if (!prefix.empty()) {
@@ -209,7 +209,7 @@ MetricsSnapshot MetricsRegistry::snapshot(std::string_view prefix) const {
 }
 
 void MetricsRegistry::reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [name, entry] : entries_) {
     switch (entry.kind) {
       case InstrumentKind::kCounter: entry.counter->reset(); break;
@@ -220,7 +220,7 @@ void MetricsRegistry::reset() {
 }
 
 std::size_t MetricsRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return entries_.size();
 }
 

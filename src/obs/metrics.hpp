@@ -7,11 +7,12 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/time.hpp"
 
 // Metrics instruments for the Wren/Virtuoso stack.
@@ -142,20 +143,22 @@ class MetricsRegistry {
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
   /// Get-or-create by name. Requires a valid name; requires that an
-  /// existing instrument under this name has the same kind.
-  Counter& counter(std::string_view name);
-  Gauge& gauge(std::string_view name);
-  Histogram& histogram(std::string_view name);
+  /// existing instrument under this name has the same kind. The returned
+  /// reference stays valid (and lock-free to update) for the registry's
+  /// lifetime — only the name→entry map itself is guarded.
+  Counter& counter(std::string_view name) VW_EXCLUDES(mu_);
+  Gauge& gauge(std::string_view name) VW_EXCLUDES(mu_);
+  Histogram& histogram(std::string_view name) VW_EXCLUDES(mu_);
 
   /// Consistent point-in-time copy of every instrument, sorted by name.
   /// With `prefix` non-empty, only instruments whose name equals the prefix
   /// or starts with "<prefix>." are included.
-  MetricsSnapshot snapshot(std::string_view prefix = {}) const;
+  MetricsSnapshot snapshot(std::string_view prefix = {}) const VW_EXCLUDES(mu_);
 
   /// Zero every instrument (names stay registered, addresses stay valid).
-  void reset();
+  void reset() VW_EXCLUDES(mu_);
 
-  std::size_t size() const;
+  std::size_t size() const VW_EXCLUDES(mu_);
 
  private:
   struct Entry {
@@ -165,11 +168,11 @@ class MetricsRegistry {
     std::unique_ptr<Histogram> histogram;
   };
 
-  Entry& entry_for(std::string_view name, InstrumentKind kind);
+  Entry& entry_for(std::string_view name, InstrumentKind kind) VW_EXCLUDES(mu_);
 
   ClockFn clock_;
-  mutable std::mutex mu_;
-  std::map<std::string, Entry, std::less<>> entries_;
+  mutable Mutex mu_;
+  std::map<std::string, Entry, std::less<>> entries_ VW_GUARDED_BY(mu_);
 };
 
 }  // namespace vw::obs

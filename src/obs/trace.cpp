@@ -36,7 +36,7 @@ EventTracer::EventTracer(std::size_t capacity, ClockFn clock)
 }
 
 void EventTracer::push(TraceEvent ev) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ev.id = next_id_++;
   ++recorded_;
   ring_.push_back(std::move(ev));
@@ -75,13 +75,13 @@ EventTracer::Span EventTracer::span(std::string name, std::string category) {
 }
 
 std::vector<TraceEvent> EventTracer::events() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return {ring_.begin(), ring_.end()};
 }
 
 std::pair<std::vector<TraceEvent>, std::uint64_t> EventTracer::events_since(
     std::uint64_t since, std::size_t max_events) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::pair<std::vector<TraceEvent>, std::uint64_t> out;
   out.second = ring_.empty() ? next_id_ - 1 : ring_.back().id;
   for (const TraceEvent& ev : ring_) {
@@ -93,17 +93,17 @@ std::pair<std::vector<TraceEvent>, std::uint64_t> EventTracer::events_since(
 }
 
 std::uint64_t EventTracer::recorded() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return recorded_;
 }
 
 std::uint64_t EventTracer::dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return dropped_;
 }
 
 void EventTracer::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ring_.clear();
 }
 

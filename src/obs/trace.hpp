@@ -3,11 +3,12 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/time.hpp"
 
 // Typed event tracing with a bounded ring buffer.
@@ -79,41 +80,41 @@ class EventTracer {
   EventTracer& operator=(const EventTracer&) = delete;
 
   /// Record a point event at the current virtual time.
-  void instant(std::string name, std::string category, Args args = {});
+  void instant(std::string name, std::string category, Args args = {}) VW_EXCLUDES(mu_);
 
   /// Record a finished span with explicit endpoints (for asynchronous work
   /// like migrations, where no stack frame covers the whole interval).
   void complete(std::string name, std::string category, SimTime start, SimTime end,
-                Args args = {});
+                Args args = {}) VW_EXCLUDES(mu_);
 
   /// Open a span covering the caller's scope.
   Span span(std::string name, std::string category);
 
   /// Events currently buffered, oldest first.
-  std::vector<TraceEvent> events() const;
+  std::vector<TraceEvent> events() const VW_EXCLUDES(mu_);
 
   /// Events with id > `since`, capped at `max_events`; second element is the
   /// largest id in the buffer (the cursor for the next call).
   std::pair<std::vector<TraceEvent>, std::uint64_t> events_since(
-      std::uint64_t since, std::size_t max_events = 1024) const;
+      std::uint64_t since, std::size_t max_events = 1024) const VW_EXCLUDES(mu_);
 
   std::size_t capacity() const { return capacity_; }
-  std::uint64_t recorded() const;
-  std::uint64_t dropped() const;
-  void clear();
+  std::uint64_t recorded() const VW_EXCLUDES(mu_);
+  std::uint64_t dropped() const VW_EXCLUDES(mu_);
+  void clear() VW_EXCLUDES(mu_);
 
   SimTime now() const { return clock_ ? clock_() : 0; }
 
  private:
-  void push(TraceEvent ev);
+  void push(TraceEvent ev) VW_EXCLUDES(mu_);
 
   std::size_t capacity_;
   ClockFn clock_;
-  mutable std::mutex mu_;
-  std::deque<TraceEvent> ring_;
-  std::uint64_t next_id_ = 1;
-  std::uint64_t recorded_ = 0;
-  std::uint64_t dropped_ = 0;
+  mutable Mutex mu_;
+  std::deque<TraceEvent> ring_ VW_GUARDED_BY(mu_);
+  std::uint64_t next_id_ VW_GUARDED_BY(mu_) = 1;
+  std::uint64_t recorded_ VW_GUARDED_BY(mu_) = 0;
+  std::uint64_t dropped_ VW_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace vw::obs

@@ -29,7 +29,7 @@ void Logger::log(LogLevel level, std::string_view component, std::string_view me
   line << level_name(level) << ' ' << component << ": " << message << '\n';
   const std::string text = line.str();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     sink_->write(text.data(), static_cast<std::streamsize>(text.size()));
   }
 }

@@ -1,12 +1,13 @@
 #pragma once
 
 #include <functional>
-#include <mutex>
 #include <ostream>
 #include <sstream>
 #include <string>
 #include <string_view>
 
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/time.hpp"
 
 // Lightweight leveled logger. Components log through a Logger reference that
@@ -35,7 +36,8 @@ class Logger {
   LogLevel level() const { return level_; }
   bool enabled(LogLevel level) const { return sink_ != nullptr && level >= level_; }
 
-  void log(LogLevel level, std::string_view component, std::string_view message);
+  void log(LogLevel level, std::string_view component, std::string_view message)
+      VW_EXCLUDES(mu_);
 
   void trace(std::string_view c, std::string_view m) { log(LogLevel::kTrace, c, m); }
   void debug(std::string_view c, std::string_view m) { log(LogLevel::kDebug, c, m); }
@@ -44,10 +46,12 @@ class Logger {
   void error(std::string_view c, std::string_view m) { log(LogLevel::kError, c, m); }
 
  private:
-  std::ostream* sink_;
+  /// The pointer itself is wired once at construction and read lock-free by
+  /// enabled(); the pointed-to stream is only written under mu_.
+  std::ostream* sink_ VW_PT_GUARDED_BY(mu_);
   LogLevel level_;
   std::function<SimTime()> clock_;
-  std::mutex mu_;  ///< serializes sink writes across threads
+  Mutex mu_;  ///< serializes sink writes across threads
 };
 
 /// Convenience formatter: strcat-style message building for log call sites.

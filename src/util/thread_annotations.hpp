@@ -1,0 +1,61 @@
+#pragma once
+
+// Clang thread-safety-analysis attribute macros.
+//
+// These expand to Clang's `__attribute__((...))` capability annotations when
+// compiling with Clang and to nothing elsewhere, so GCC builds are unchanged
+// while the clang CI job compiles with `-Wthread-safety -Werror` and proves
+// lock discipline statically: every VW_GUARDED_BY field access must happen
+// with its capability held, every VW_REQUIRES function must be called with
+// the lock, and VW_EXCLUDES functions must be entered without it.
+//
+// libstdc++'s std::mutex is not annotated as a capability, so the analysis
+// cannot track std::lock_guard acquisitions on it. Mutex-protected
+// structures therefore use the annotated vw::Mutex / vw::MutexLock wrappers
+// from util/mutex.hpp instead of std::mutex / std::lock_guard.
+
+#if defined(__clang__)
+#define VW_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define VW_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op outside Clang
+#endif
+
+/// Marks a type as a capability (a lock); `x` names it in diagnostics.
+#define VW_CAPABILITY(x) VW_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define VW_SCOPED_CAPABILITY VW_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+/// Field may only be accessed while holding capability `x`.
+#define VW_GUARDED_BY(x) VW_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+/// Pointer field: the *pointee* may only be accessed while holding `x`
+/// (the pointer itself is unguarded).
+#define VW_PT_GUARDED_BY(x) VW_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+/// Function requires the listed capabilities to already be held by the caller.
+#define VW_REQUIRES(...) \
+  VW_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+/// Function acquires the listed capabilities and holds them on return.
+#define VW_ACQUIRE(...) \
+  VW_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities (which must be held on entry).
+#define VW_RELEASE(...) \
+  VW_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+/// Function attempts acquisition; holds the capability iff it returned `b`.
+#define VW_TRY_ACQUIRE(b, ...) \
+  VW_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(b, __VA_ARGS__))
+
+/// Caller must NOT hold the listed capabilities (non-reentrancy guard).
+#define VW_EXCLUDES(...) VW_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the capability guarding its result.
+#define VW_RETURN_CAPABILITY(x) VW_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+/// Escape hatch: disables analysis inside one function. Every use needs a
+/// comment explaining why the discipline cannot be expressed statically.
+#define VW_NO_THREAD_SAFETY_ANALYSIS \
+  VW_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)

@@ -1,12 +1,13 @@
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 // A small fixed-size worker pool for CPU-bound fan-out (multi-start
 // annealing chains, parallel sweeps). Tasks are opaque closures; the pool
@@ -14,6 +15,10 @@
 // outcome is independent of scheduling order. Tasks must not throw (capture
 // exceptions into the result slot instead; an escaping exception terminates
 // the process, as with any detached std::thread).
+//
+// Lock discipline (checked by -Wthread-safety on Clang): queue_, active_ and
+// stop_ are only touched under mu_; tasks themselves run with no lock held,
+// so a task may safely submit() more work.
 
 namespace vw {
 
@@ -30,7 +35,7 @@ class ThreadPool {
 
   ~ThreadPool() {
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       stop_ = true;
     }
     cv_task_.notify_all();
@@ -41,18 +46,18 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueue a task; runs on some worker in FIFO dequeue order.
-  void submit(std::function<void()> task) {
+  void submit(std::function<void()> task) VW_EXCLUDES(mu_) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       queue_.push_back(std::move(task));
     }
     cv_task_.notify_one();
   }
 
   /// Block until the queue is drained and every running task has finished.
-  void wait_idle() {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  void wait_idle() VW_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    while (!(queue_.empty() && active_ == 0)) cv_idle_.wait(mu_);
   }
 
   std::size_t thread_count() const { return workers_.size(); }
@@ -63,12 +68,12 @@ class ThreadPool {
   }
 
  private:
-  void worker_loop() {
+  void worker_loop() VW_EXCLUDES(mu_) {
     for (;;) {
       std::function<void()> task;
       {
-        std::unique_lock<std::mutex> lock(mu_);
-        cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        MutexLock lock(mu_);
+        while (!stop_ && queue_.empty()) cv_task_.wait(mu_);
         if (stop_ && queue_.empty()) return;
         task = std::move(queue_.front());
         queue_.pop_front();
@@ -76,19 +81,19 @@ class ThreadPool {
       }
       task();
       {
-        std::unique_lock<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         --active_;
         if (queue_.empty() && active_ == 0) cv_idle_.notify_all();
       }
     }
   }
 
-  std::mutex mu_;
-  std::condition_variable cv_task_;
-  std::condition_variable cv_idle_;
-  std::deque<std::function<void()>> queue_;
-  std::size_t active_ = 0;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar cv_task_;
+  CondVar cv_idle_;
+  std::deque<std::function<void()>> queue_ VW_GUARDED_BY(mu_);
+  std::size_t active_ VW_GUARDED_BY(mu_) = 0;
+  bool stop_ VW_GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

@@ -1,0 +1,13 @@
+// R1 fixture: every wall-clock source vwlint must flag in simulated code.
+#include <chrono>
+#include <ctime>
+
+long long stamp_events() {
+  const auto a = std::chrono::steady_clock::now();
+  const auto b = std::chrono::system_clock::now();
+  const auto c = std::chrono::high_resolution_clock::now();
+  const std::time_t d = time(nullptr);
+  const std::clock_t e = clock();
+  (void)a; (void)b; (void)c; (void)e;
+  return static_cast<long long>(d);
+}

@@ -1,0 +1,20 @@
+// R1 fixture: virtual-clock-pure code vwlint must pass. Time only flows in
+// as SimTime / a clock callback; names that merely contain "time"/"clock"
+// must not trip the rule.
+#include <cstdint>
+
+using SimTime = std::int64_t;
+
+SimTime transmission_time(std::int64_t bytes, double bits_per_sec) {
+  return static_cast<SimTime>(static_cast<double>(bytes) * 8.0e9 / bits_per_sec);
+}
+
+struct Meter {
+  SimTime last_tick = 0;
+  SimTime clock_skew = 0;
+  SimTime advance(SimTime now) {
+    const SimTime dt = now - last_tick;
+    last_tick = now;
+    return dt + clock_skew + transmission_time(1500, 1e9);
+  }
+};

@@ -1,0 +1,12 @@
+// R2 fixture: every unseeded/ambient randomness source vwlint must flag.
+#include <cstdlib>
+#include <random>
+
+int draw() {
+  std::random_device rd;
+  std::mt19937 unseeded;
+  std::mt19937_64 also_unseeded;
+  srand(42);
+  const int c = rand();
+  return static_cast<int>(rd() + unseeded() + also_unseeded()) + c;
+}

@@ -1,0 +1,9 @@
+// R2 fixture: explicitly-seeded randomness vwlint must pass — every engine
+// is constructed from a seed that (in real code) derives from RngService.
+#include <cstdint>
+#include <random>
+
+double draw(std::uint64_t stream_seed) {
+  std::mt19937_64 engine(stream_seed);
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine);
+}

@@ -1,0 +1,15 @@
+// R3 fixture: unordered-container iteration feeding an accumulator in an
+// ordering-sensitive module, with no waiver — vwlint must flag both loops.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+double total_rate(const std::unordered_map<int, double>& ignored) {
+  std::unordered_map<std::string, double> rates = {{"a", 1.0}};
+  std::unordered_set<int> members = {1, 2, 3};
+  double total = 0;
+  for (const auto& [name, rate] : rates) total += rate;
+  for (auto it = members.begin(); it != members.end(); ++it) total += *it;
+  (void)ignored;
+  return total;
+}

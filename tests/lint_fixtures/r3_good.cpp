@@ -1,0 +1,19 @@
+// R3 fixture: the two accepted shapes — iterate a sorted copy, or waive the
+// order-insensitive collection step with a reason. vwlint must pass.
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+double total_rate() {
+  std::unordered_map<std::string, double> rates = {{"a", 1.0}};
+  std::vector<std::pair<std::string, double>> sorted_rates;
+  sorted_rates.reserve(rates.size());
+  // vwlint: unordered-ok(collection only; order normalized by the sort below)
+  for (const auto& [name, rate] : rates) sorted_rates.emplace_back(name, rate);
+  std::sort(sorted_rates.begin(), sorted_rates.end());
+  double total = 0;
+  for (const auto& [name, rate] : sorted_rates) total += rate;
+  return total;
+}

@@ -1,0 +1,14 @@
+#pragma once
+
+// R4 fixture: hot-path header with a std::function callback and a by-value
+// shared_ptr parameter — vwlint must flag both.
+#include <functional>
+#include <memory>
+
+struct Payload;
+
+class HotPath {
+ public:
+  using Callback = std::function<void(int)>;
+  void deliver(std::shared_ptr<Payload> payload, int size);
+};

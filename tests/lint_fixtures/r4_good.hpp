@@ -1,0 +1,16 @@
+#pragma once
+
+// R4 fixture: hot-path header passing the shared_ptr by const& and using a
+// SmallFn-style callable — vwlint must pass.
+#include <memory>
+
+struct Payload;
+
+template <typename Sig>
+class SmallFnLike {};
+
+class HotPath {
+ public:
+  using Callback = SmallFnLike<void(int)>;
+  void deliver(const std::shared_ptr<Payload>& payload, int size);
+};

@@ -1,0 +1,14 @@
+#pragma once
+
+// R5 fixture: a public header with exactly two VW_REQUIRE/VW_ENSURE contract
+// sites; test_vwlint.py checks coverage counting and baseline regression
+// against this file.
+#define VW_REQUIRE(cond, ...) ((void)(cond))
+#define VW_ENSURE(cond, ...) ((void)(cond))
+
+inline int clamp_positive(int x) {
+  VW_REQUIRE(x > -1000, "way out of range");
+  const int r = x < 0 ? 0 : x;
+  VW_ENSURE(r >= 0, "postcondition");
+  return r;
+}
