@@ -45,9 +45,11 @@
 #define VW_RELEASE(...) \
   VW_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
 
-/// Function attempts acquisition; holds the capability iff it returned `b`.
-#define VW_TRY_ACQUIRE(b, ...) \
-  VW_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(b, __VA_ARGS__))
+/// Function attempts acquisition; the first argument is the success return
+/// value, optionally followed by the capabilities (fully variadic so
+/// `VW_TRY_ACQUIRE(true)` does not leave a trailing comma in the attribute).
+#define VW_TRY_ACQUIRE(...) \
+  VW_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
 
 /// Caller must NOT hold the listed capabilities (non-reentrancy guard).
 #define VW_EXCLUDES(...) VW_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))

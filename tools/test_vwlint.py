@@ -159,6 +159,58 @@ def test_empty_waiver_reason_is_a_hygiene_finding() -> None:
         assert code == 1 and "empty reason" in out, out
 
 
+# --- raw string literals -----------------------------------------------------
+
+def test_strip_comments_handles_raw_string_literals() -> None:
+    text = 'auto a = u8R"x(one\ntwo " three)x";\nint b = 0;\n'
+    code = vwlint.strip_comments(text)
+    assert code.count("\n") == text.count("\n"), "line numbers must survive"
+    assert "three" not in code, "raw string body must be blanked"
+    assert code.splitlines()[2].strip() == "int b = 0;", code
+
+
+def test_r1_raw_string_does_not_desync_scan() -> None:
+    # An embedded quote in a raw string must not swallow the code after it:
+    # the time() text inside the literal stays unflagged, the real call on
+    # line 3 is flagged at the right line.
+    src = ('#include <ctime>\n'
+           'const char* kDoc = R"(call time(nullptr) " quote)";\n'
+           'long long t() { return time(nullptr); }\n')
+    with tempfile.TemporaryDirectory() as tmp:
+        p = Path(tmp) / "raw.cpp"
+        p.write_text(src)
+        code, out = run(["--rules", "R1", str(p)])
+        assert code == 1 and out.count("[R1]") == 1, out
+        assert "raw.cpp:3:" in out, out
+
+
+# --- semantic-mode coverage --------------------------------------------------
+
+def test_semantic_mode_token_checks_uncovered_files() -> None:
+    # A successful semantic pass covers only the parsed TUs; headers (no
+    # compile commands) and unparsed files must still get token-level R1-R3.
+    with tempfile.TemporaryDirectory() as tmp:
+        cov = (Path(tmp) / "covered.cpp").resolve()
+        cov.write_text("int main() { return 0; }\n")
+        hdr = Path(tmp) / "clocky.hpp"
+        hdr.write_text("#pragma once\n#include <ctime>\n"
+                       "inline long long t() { return time(nullptr); }\n")
+        orig = vwlint.try_semantic
+        vwlint.try_semantic = lambda files, cc, rules: ([], {cov})
+        try:
+            code, out = run(["--semantic", "--rules", "R1", str(cov), str(hdr)])
+        finally:
+            vwlint.try_semantic = orig
+        assert code == 1 and "[R1]" in out and "clocky.hpp" in out, out
+
+
+def test_clean_compile_args_strips_c_o_and_source() -> None:
+    args = ["clang++", "-std=c++20", "-Isrc", "-c", "src/sim/engine.cxx",
+            "-o", "CMakeFiles/engine.dir/engine.cxx.o", "-DFOO=1"]
+    cleaned = vwlint.clean_compile_args(args, "src/sim/engine.cxx")
+    assert cleaned == ["-std=c++20", "-Isrc", "-DFOO=1"], cleaned
+
+
 # --- whole-tree invariants ---------------------------------------------------
 
 def test_tree_runs_clean() -> None:

@@ -37,11 +37,13 @@ matching the rule (wallclock-ok for R1, rand-ok for R2, unordered-ok for R3,
 alloc-ok for R4). The reason is mandatory; an empty reason is itself a
 finding.
 
-Analysis modes: `--semantic` parses the tree with libclang over
+Analysis modes: `--semantic` parses every .cpp TU with libclang over
 compile_commands.json (cursor-level resolution, no false positives from
-strings/macros). When the libclang python bindings are unavailable the
-analyzer degrades to the token-level scanner, which is tuned to produce the
-same verdicts on this tree; CI runs the semantic mode on the clang job.
+strings/macros); headers and any TU that fails to parse are still covered by
+the token-level scanner in the same run, so both modes see the whole tree.
+When the libclang python bindings are unavailable the analyzer degrades to
+the token-level scanner everywhere, which is tuned to produce the same
+verdicts on this tree; CI runs the semantic mode on the clang job.
 
 Usage:
   vwlint.py                      # token-level scan of src/ + tests/
@@ -182,9 +184,43 @@ class FileContext:
     waivers: list[Waiver] = field(default_factory=list)
 
 
+# R"delim( at the opening quote of a raw string literal; the delimiter is at
+# most 16 chars and cannot contain space, parens, backslash, or newline.
+RAW_STRING_OPEN = re.compile(r'"([^ ()\\\t\v\f\r\n]{0,16})\(')
+
+
+def _raw_string_end(text: str, i: int) -> int | None:
+    """`i` points at the opening quote of a raw string literal (an `R` prefix
+    precedes it). Returns the offset just past the closing quote, or None if
+    the literal is malformed/unterminated."""
+    m = RAW_STRING_OPEN.match(text, i)
+    if m is None:
+        return None
+    close = ")" + m.group(1) + '"'
+    j = text.find(close, m.end())
+    return None if j == -1 else j + len(close)
+
+
+def _is_raw_string_quote(text: str, i: int) -> bool:
+    """True when the quote at `i` is opened by a raw-string prefix
+    (R, uR, u8R, UR, LR) rather than being an ordinary string literal."""
+    j = i - 1
+    if j < 0 or text[j] != "R":
+        return False
+    j -= 1
+    if j >= 1 and text[j] == "8" and text[j - 1] == "u":
+        j -= 2
+    elif j >= 0 and text[j] in "uUL":
+        j -= 1
+    # The prefix must not be the tail of a longer identifier (e.g. `FooR"x"`).
+    return j < 0 or not (text[j].isalnum() or text[j] == "_")
+
+
 def strip_comments(text: str) -> str:
     """Remove // and /* */ comments and string literals so patterns only
-    match real code. Newlines are preserved so line numbers survive."""
+    match real code. Newlines are preserved so line numbers survive. Raw
+    string literals (R"delim(...)delim") are recognized so embedded quotes
+    and backslashes cannot desync the scan."""
     out: list[str] = []
     i, n = 0, len(text)
     while i < n:
@@ -198,6 +234,14 @@ def strip_comments(text: str) -> str:
             chunk = text[i : n if j == -1 else j + 2]
             out.append("\n" * chunk.count("\n"))
             i = n if j == -1 else j + 2
+        elif ch == '"' and _is_raw_string_quote(text, i):
+            end = _raw_string_end(text, i)
+            if end is None:  # malformed: blank the rest, keep line numbers
+                out.append('""' + "\n" * text.count("\n", i))
+                i = n
+            else:
+                out.append('""' + "\n" * text.count("\n", i, end))
+                i = end
         elif ch == '"':
             j = i + 1
             while j < n and text[j] != '"':
@@ -462,11 +506,36 @@ SEMANTIC_RANDOM_TYPES = {"std::random_device"}
 SEMANTIC_RANDOM_CALLEES = {"rand", "srand"}
 
 
+def clean_compile_args(arguments: list[str], filename: str) -> list[str]:
+    """Strip a compile-command argv down to the flags index.parse accepts:
+    one pass dropping -c (a bare flag), -o plus its operand, and the source
+    file itself (matched against the database's record of it, so .cxx and
+    relative/absolute spellings are handled). The compiler binary is
+    arguments[0] and is skipped."""
+    src_name = Path(filename).name
+    cleaned: list[str] = []
+    args_iter = iter(arguments[1:])
+    for a in args_iter:
+        if a == "-c":
+            continue
+        if a == "-o":
+            next(args_iter, None)
+            continue
+        if a == filename or (
+                Path(a).suffix in SOURCE_EXTS and Path(a).name == src_name):
+            continue
+        cleaned.append(a)
+    return cleaned
+
+
 def try_semantic(files: list[FileContext], compile_commands: Path,
-                 rules: set[str]) -> list[Finding] | None:
-    """libclang pass over the compilation database. Returns None when the
-    bindings (or the database) are unavailable — the caller falls back to the
-    token-level verdicts, which are tuned to match on this tree."""
+                 rules: set[str]) -> tuple[list[Finding], set[Path]] | None:
+    """libclang pass over the compilation database. Returns the semantic
+    findings plus the set of files actually covered by a parsed TU; the
+    caller runs the token-level rules on everything else (headers have no
+    compile commands, and a TU can fail to parse). Returns None when the
+    bindings (or the database) are unavailable — then the token-level
+    verdicts cover the whole tree."""
     try:
         from clang import cindex  # type: ignore
     except ImportError:
@@ -529,34 +598,31 @@ def try_semantic(files: list[FileContext], compile_commands: Path,
         for child in cursor.get_children():
             visit(child, ctx)
 
-    parsed_any = False
+    covered: set[Path] = set()
     for ctx in files:
         if ctx.path.suffix not in SOURCE_EXTS or not ctx.is_src:
             continue
         cmds = db.getCompileCommands(str(ctx.path))
         if not cmds:
             continue
-        args = [a for a in list(cmds[0].arguments)[1:] if a not in {"-c", "-o"}]
-        # Drop the -c/-o operands and the source file itself.
-        cleaned, skip = [], False
-        for a in args:
-            if skip:
-                skip = False
-                continue
-            if a in {"-c", "-o"}:
-                skip = True
-                continue
-            if a.endswith((".cpp", ".cc", ".o")):
-                continue
-            cleaned.append(a)
+        cmd = cmds[0]
+        cleaned = clean_compile_args(list(cmd.arguments), cmd.filename)
         try:
             tu = index.parse(str(ctx.path), args=cleaned)
-        except Exception:
+            fatal = any(d.severity >= cindex.Diagnostic.Fatal
+                        for d in tu.diagnostics)
+        except Exception as exc:
+            tu, fatal = None, True
+            print(f"vwlint: semantic parse failed for "
+                  f"{ctx.path.relative_to(REPO)}: {exc}")
+        if tu is None or fatal:
+            print(f"vwlint: token-level fallback for "
+                  f"{ctx.path.relative_to(REPO)} (TU did not parse cleanly)")
             continue
-        parsed_any = True
+        covered.add(ctx.path)
         visit(tu.cursor, ctx)
 
-    return findings if parsed_any else None
+    return (findings, covered) if covered else None
 
 
 # --- driver ------------------------------------------------------------------
@@ -633,18 +699,25 @@ def main(argv: list[str] | None = None) -> int:
 
     findings: list[Finding] = []
 
-    semantic_findings = None
+    semantic_findings: list[Finding] | None = None
+    semantic_covered: set[Path] = set()
     if opts.semantic:
-        semantic_findings = try_semantic(files, opts.compile_commands,
-                                         rules & {"R1", "R2", "R3"})
-        if semantic_findings is None:
+        result = try_semantic(files, opts.compile_commands,
+                              rules & {"R1", "R2", "R3"})
+        if result is None:
             print("vwlint: libclang unavailable; token-level fallback "
                   "(same verdict set on this tree)")
+        else:
+            semantic_findings, semantic_covered = result
 
     for ctx in files:
         if "hygiene" in rules:
             findings.extend(check_hygiene(ctx))
-        if semantic_findings is None:
+        # Token-level R1-R3 still cover every file the semantic pass did not
+        # parse as a TU — all headers (which have no compile commands) and
+        # any .cpp whose TU failed — so a wall-clock call in a src/ header
+        # cannot slip through --semantic.
+        if ctx.path not in semantic_covered:
             if "R1" in rules:
                 findings.extend(check_r1_wallclock(ctx))
             if "R2" in rules:
@@ -666,7 +739,8 @@ def main(argv: list[str] | None = None) -> int:
         return 1
 
     n_waivers = sum(len(ctx.waivers) for ctx in files)
-    mode = "semantic" if (opts.semantic and semantic_findings is not None) else "token"
+    mode = ("semantic+token-headers" if (opts.semantic and semantic_findings is not None)
+            else "token")
     print(f"vwlint: OK ({len(files)} files clean, {mode} mode, "
           f"rules={','.join(sorted(rules))}, {n_waivers} waiver(s) — "
           f"audit with --list-waivers)")
