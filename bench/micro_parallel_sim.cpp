@@ -1,0 +1,130 @@
+// Parallel-simulation micro benchmark (this PR's acceptance gate): event
+// throughput of the sharded conservative engine versus the single-shard
+// serial oracle on an identical workload.
+//
+// The workload is a 32-host star (1 Gb/s access links, 50 us propagation —
+// the propagation delay is the lookahead, so every conservative window
+// spans 50 us of virtual time). Host i ping-pongs 1000-byte datagrams with
+// host (i+16) % 32 through raw host stacks, 32 packets in flight per pair,
+// so every shard has a deep event queue inside each window. The star center
+// does no per-packet work under the cut-through ownership rule (the
+// transit decision runs on the upstream host's shard), so the switch never
+// serializes the run.
+//
+// BM_ShardedStar/N runs the same workload on N shards; N=1 uses no thread
+// pool at all (the serial oracle). items_per_second = simulator events
+// executed. tools/bench_to_json.py --suite parallel_sim wraps this binary
+// into BENCH_parallel_sim.json and gates items/s(4 shards) / items/s(1
+// shard) >= 2.5 when the machine has at least 4 CPUs.
+//
+// Custom main: runtime audits (VW_AUDIT) are disabled so contract checks in
+// hot loops don't pollute the timing.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+#include "net/packet.hpp"
+#include "sim/sharded.hpp"
+#include "sim/simulator.hpp"
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace vw;
+
+constexpr int kHosts = 32;
+constexpr int kWindow = 32;          // packets in flight per pair
+constexpr std::uint32_t kPayload = 960;  // + 40B header = 1000B on the wire
+
+int partner(int i) { return (i + 16) % kHosts; }
+
+net::Packet make_pkt(net::NodeId src, net::NodeId dst) {
+  net::Packet pkt;
+  pkt.flow = net::FlowKey{src, dst, 4000, 4000, net::Protocol::kUdp};
+  pkt.payload_bytes = kPayload;
+  return pkt;
+}
+
+// Per-host receive counter, cacheline-isolated: hosts on different shards
+// bump their counters from different worker threads.
+struct alignas(64) HostCounter {
+  std::uint64_t received = 0;
+};
+
+void BM_ShardedStar(benchmark::State& state) {
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  std::optional<ThreadPool> pool;
+  if (shards > 1) pool.emplace(shards);
+  sim::ShardedSimulator ssim(shards, pool ? &*pool : nullptr);
+
+  net::Network net(ssim.shard(0));
+  const net::NodeId sw = net.add_router("switch");
+  std::vector<net::NodeId> hosts;
+  net::LinkConfig link;
+  link.bits_per_sec = 1e9;
+  link.prop_delay = micros(50);
+  for (int i = 0; i < kHosts; ++i) {
+    hosts.push_back(net.add_host("host-" + std::to_string(i)));
+    net.add_link(hosts.back(), sw, link);
+  }
+  net.compute_routes();
+
+  net::Network::PartitionOptions opts;
+  opts.shards = shards;
+  const net::Network::ShardPlan plan = net.partition(opts);
+  net.bind_shards(ssim, plan);
+  if (plan.lookahead > 0) ssim.set_lookahead(plan.lookahead);
+
+  std::vector<HostCounter> counters(kHosts);
+  for (int i = 0; i < kHosts; ++i) {
+    const net::NodeId me = hosts[static_cast<std::size_t>(i)];
+    const net::NodeId peer = hosts[static_cast<std::size_t>(partner(i))];
+    net.set_host_stack(me, [&net, &counters, i, me, peer](net::Packet&&) {
+      ++counters[static_cast<std::size_t>(i)].received;
+      net.send(make_pkt(me, peer));  // ping-pong: answer every delivery
+    });
+  }
+  // Prime kWindow round trips per pair from the lower half.
+  for (int i = 0; i < kHosts / 2; ++i) {
+    const net::NodeId me = hosts[static_cast<std::size_t>(i)];
+    const net::NodeId peer = hosts[static_cast<std::size_t>(partner(i))];
+    net.sim_for(me).schedule_at(0, [&net, me, peer] {
+      for (int w = 0; w < kWindow; ++w) net.send(make_pkt(me, peer));
+    });
+  }
+
+  SimTime horizon = 0;
+  const std::uint64_t events0 = ssim.events_executed();
+  for (auto _ : state) {
+    horizon += millis(10);
+    ssim.run_until(horizon);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(ssim.events_executed() - events0));
+
+  std::uint64_t delivered = 0;
+  for (const HostCounter& c : counters) delivered += c.received;
+  VW_REQUIRE(delivered > 0, "sharded star delivered nothing");
+  VW_REQUIRE(delivered == net.packets_delivered(), "delivery count mismatch: taps=",
+             delivered, " network=", net.packets_delivered());
+  state.counters["epochs"] = static_cast<double>(ssim.stats().epochs);
+  state.counters["handoffs"] = static_cast<double>(ssim.stats().handoffs);
+}
+BENCHMARK(BM_ShardedStar)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  vw::contracts::set_audit_enabled(false);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

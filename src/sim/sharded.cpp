@@ -1,0 +1,195 @@
+#include "sim/sharded.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace vw::sim {
+
+namespace {
+
+/// Saturating add so `min_next_event + lookahead` never wraps when a shard
+/// reports kNoEventTime (INT64_MAX) or the lookahead is kNoLookahead.
+SimTime sat_add(SimTime a, SimTime b) {
+  return a > Simulator::kNoEventTime - b ? Simulator::kNoEventTime : a + b;
+}
+
+}  // namespace
+
+ShardedSimulator::ShardedSimulator(std::size_t shards, ThreadPool* pool)
+    : shards_(shards),
+      pool_(pool),
+      mailboxes_(shards * shards),
+      next_time_(shards, 0),
+      injected_by_shard_(shards, 0),
+      drain_scratch_(shards),
+      flushed_events_(shards, 0) {
+  VW_REQUIRE(shards >= 1, "ShardedSimulator needs at least one shard");
+}
+
+void ShardedSimulator::set_lookahead(SimTime lookahead) {
+  VW_REQUIRE(lookahead >= 1,
+             "conservative windows need strictly positive lookahead, got ", lookahead);
+  lookahead_ = std::min(lookahead, kNoLookahead);
+}
+
+void ShardedSimulator::post(std::size_t from, std::size_t to, SimTime at,
+                            Simulator::Callback cb) {
+  VW_REQUIRE(from < shards_.size() && to < shards_.size(),
+             "post() shard out of range: from=", from, " to=", to);
+  if (from == to) {
+    shards_[from].schedule_at(at, std::move(cb));
+    return;
+  }
+  // The lookahead contract: a message generated inside the current window
+  // must land at or after its exclusive end, else the destination may have
+  // already run past `at`. window_end_ is stable for the whole parallel
+  // phase (coordinator-written, barrier-published), so this check is exact.
+  VW_ASSERT(at >= window_end_, "cross-shard post violates lookahead: at=", at,
+            " window_end=", window_end_);
+  Mailbox& box = mailbox(from, to);
+  box.msgs.push_back(Msg{at, box.next_seq++, static_cast<std::uint32_t>(from),
+                         std::move(cb)});
+}
+
+void ShardedSimulator::schedule_global(SimTime at, Simulator::Callback cb) {
+  VW_REQUIRE(at >= horizon_, "global event in the past: at=", at,
+             " horizon=", horizon_);
+  auto later = [](const GlobalEvent& a, const GlobalEvent& b) {
+    if (a.at != b.at) return a.at > b.at;
+    return a.seq > b.seq;
+  };
+  globals_.push_back(GlobalEvent{at, next_global_seq_++, std::move(cb)});
+  std::push_heap(globals_.begin(), globals_.end(), later);
+}
+
+void ShardedSimulator::drain_into(std::size_t s) {
+  std::vector<Msg>& merged = drain_scratch_[s];
+  merged.clear();
+  for (std::size_t from = 0; from < shards_.size(); ++from) {
+    std::vector<Msg>& box = mailbox(from, s).msgs;
+    for (Msg& m : box) merged.push_back(std::move(m));
+    box.clear();
+  }
+  if (merged.empty()) return;
+  // The deterministic merge: (time, source shard, source program order).
+  // Nothing here depends on which thread produced a message or when.
+  std::sort(merged.begin(), merged.end(), [](const Msg& a, const Msg& b) {
+    if (a.at != b.at) return a.at < b.at;
+    if (a.src != b.src) return a.src < b.src;
+    return a.seq < b.seq;
+  });
+  injected_by_shard_[s] += merged.size();
+  Simulator& sim = shards_[s];
+  for (Msg& m : merged) sim.schedule_at(m.at, std::move(m.cb));
+  merged.clear();
+}
+
+void ShardedSimulator::run_until(SimTime until) {
+  VW_REQUIRE(until >= horizon_, "run_until into the past: until=", until,
+             " horizon=", horizon_);
+  VW_REQUIRE(until < Simulator::kNoEventTime, "until out of range");
+  const std::size_t n = shards_.size();
+  auto later = [](const GlobalEvent& a, const GlobalEvent& b) {
+    if (a.at != b.at) return a.at > b.at;
+    return a.seq > b.seq;
+  };
+  const auto dispatch = [&](const std::function<void(std::size_t)>& fn) {
+    if (pool_ == nullptr) {
+      for (std::size_t s = 0; s < n; ++s) fn(s);
+    } else {
+      pool_->run_batch(n, fn);
+    }
+  };
+
+  for (;;) {
+    // Drain phase: inject pending cross-shard messages, then announce each
+    // shard's earliest-output time (the synchronous null-message exchange).
+    dispatch([this](std::size_t s) {
+      drain_into(s);
+      next_time_[s] = shards_[s].next_event_time();
+    });
+    stats_.null_messages += n;
+
+    SimTime m = Simulator::kNoEventTime;
+    for (SimTime t : next_time_) m = std::min(m, t);
+    const SimTime tg = globals_.empty() ? Simulator::kNoEventTime : globals_.front().at;
+
+    if (tg <= until && tg <= m) {
+      // Every shard has finished all events strictly before tg (their next
+      // events are at m >= tg), so the stop-the-world events at tg run now,
+      // before any shard event at the same timestamp. horizon_ tracks tg so
+      // now() reads correctly inside the global's callback.
+      window_end_ = tg;
+      horizon_ = tg;
+      while (!globals_.empty() && globals_.front().at == tg) {
+        std::pop_heap(globals_.begin(), globals_.end(), later);
+        GlobalEvent g = std::move(globals_.back());
+        globals_.pop_back();
+        g.cb();
+        ++stats_.global_events;
+      }
+      continue;  // a global may have scheduled work anywhere — re-announce
+    }
+    if (m > until && tg > until) break;
+
+    // Conservative window: everything in [previous end, end) is safe because
+    // any not-yet-generated message from an event at time t >= m arrives at
+    // t + lookahead >= m + lookahead = end. Global events and the caller's
+    // horizon clamp the window; `until + 1` makes events at `until`
+    // inclusive, matching Simulator::run_until semantics.
+    SimTime end = sat_add(m, lookahead_);
+    end = std::min(end, tg);
+    end = std::min(end, until + 1);
+    window_end_ = end;
+    dispatch([this, end](std::size_t s) { shards_[s].run_until(end - 1); });
+    ++stats_.epochs;
+    stats_.handoffs = std::accumulate(injected_by_shard_.begin(),
+                                      injected_by_shard_.end(), std::uint64_t{0});
+  }
+
+  // Final clamp: no work remains at or before `until`; advance every clock
+  // to exactly `until` so successive run_until calls compose.
+  window_end_ = until + 1;
+  dispatch([this, until](std::size_t s) { shards_[s].run_until(until); });
+  horizon_ = until;
+  stats_.handoffs = std::accumulate(injected_by_shard_.begin(),
+                                    injected_by_shard_.end(), std::uint64_t{0});
+  flush_obs();
+}
+
+std::uint64_t ShardedSimulator::events_executed() const {
+  std::uint64_t total = 0;
+  for (const Simulator& s : shards_) total += s.events_executed();
+  return total;
+}
+
+void ShardedSimulator::set_obs(obs::Scope scope) {
+  obs_ = scope;
+  obs_epochs_ = scope.counter("sim.epochs");
+  obs_null_messages_ = scope.counter("sim.null_messages");
+  obs_handoffs_ = scope.counter("sim.mailbox.handoffs");
+  obs_global_events_ = scope.counter("sim.global_events");
+  obs_shards_ = scope.gauge("sim.shards");
+  obs_shard_events_ = scope.histogram("sim.shard.events");
+  obs::set(obs_shards_, static_cast<double>(shards_.size()));
+}
+
+void ShardedSimulator::flush_obs() {
+  if (!obs_.enabled()) return;
+  obs::add(obs_epochs_, stats_.epochs - flushed_.epochs);
+  obs::add(obs_null_messages_, stats_.null_messages - flushed_.null_messages);
+  obs::add(obs_handoffs_, stats_.handoffs - flushed_.handoffs);
+  obs::add(obs_global_events_, stats_.global_events - flushed_.global_events);
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const std::uint64_t executed = shards_[s].events_executed();
+    obs::record(obs_shard_events_,
+                static_cast<double>(executed - flushed_events_[s]));
+    flushed_events_[s] = executed;
+  }
+  flushed_ = stats_;
+}
+
+}  // namespace vw::sim

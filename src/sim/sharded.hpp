@@ -1,0 +1,168 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "obs/scope.hpp"
+#include "sim/simulator.hpp"
+#include "util/thread_pool.hpp"
+
+// Sharded discrete-event engine: N independent sim::Simulator instances
+// advance in parallel under conservative synchronization (see DESIGN.md
+// §5g). The protocol is the barrier-stepped (synchronous-window) form of
+// Chandy–Misra–Bryant null messages:
+//
+//  * every cross-shard interaction is a *mailbox message* — a callback to
+//    inject into the destination shard at an absolute time `at`. The engine
+//    guarantees a message posted while executing an event at time t has
+//    at >= t + lookahead, where lookahead is the minimum cross-shard
+//    propagation delay declared by the workload (VW_ASSERTed on every post);
+//  * execution proceeds in epochs. At each barrier the shards exchange
+//    earliest-output-time announcements (their next pending event time —
+//    the null-message content of CMB, reduced synchronously), pending
+//    mailboxes are drained, and every shard may then safely run all events
+//    in [window_start, min_next_event + lookahead) in parallel: no message
+//    that could land inside that window can still be generated. Shards with
+//    slack run ahead to the window edge without waiting on per-link
+//    acknowledgements, and idle stretches are skipped in one hop because
+//    the window is derived from the *next event*, not a fixed step;
+//  * the cross-shard merge is deterministic by construction: messages are
+//    injected at the epoch boundary in (time, source shard, mailbox seq)
+//    order, and mailbox seq is the source shard's deterministic program
+//    order. Event order inside a shard is therefore a pure function of the
+//    workload — never of thread arrival order — which is what makes a
+//    sharded run bit-identical across thread counts and reproducible
+//    against the single-shard oracle (tests/sharded_sim_test.cpp).
+//
+// Mailbox memory model: each (source, destination) pair owns one SPSC
+// mailbox. The producer is the source shard's worker, which appends only
+// while its epoch task runs; the consumer is the destination shard's
+// worker, which drains only during the next drain phase. The two phases are
+// separated by the thread-pool barrier (mutex + condvar in
+// ThreadPool::run_batch), whose release/acquire ordering publishes the
+// appends — so the mailboxes themselves need no atomics, and TSan agrees.
+//
+// Global events (schedule_global) are the stop-the-world escape hatch for
+// actions that touch state owned by several shards (fault injection taking
+// a cross-shard link down). They run on the coordinator thread at an epoch
+// boundary, after every shard has finished all events strictly before their
+// timestamp and before any shard executes an event at it.
+
+namespace vw::sim {
+
+class ShardedSimulator {
+ public:
+  /// Cumulative synchronization statistics (monotone across run_until calls).
+  struct Stats {
+    std::uint64_t epochs = 0;         ///< parallel execution windows run
+    std::uint64_t null_messages = 0;  ///< EOT announcements exchanged at barriers
+    std::uint64_t handoffs = 0;       ///< cross-shard mailbox messages delivered
+    std::uint64_t global_events = 0;  ///< stop-the-world events executed
+  };
+
+  /// `shards` independent engines. `pool` (borrowed, may outlive many
+  /// ShardedSimulators — the persistent-pool pattern) supplies the workers;
+  /// nullptr runs every shard on the calling thread, which is the
+  /// single-threaded oracle mode: identical event order, no concurrency.
+  explicit ShardedSimulator(std::size_t shards, ThreadPool* pool = nullptr);
+
+  ShardedSimulator(const ShardedSimulator&) = delete;
+  ShardedSimulator& operator=(const ShardedSimulator&) = delete;
+
+  std::size_t shard_count() const { return shards_.size(); }
+  Simulator& shard(std::size_t s) { return shards_[s]; }
+  const Simulator& shard(std::size_t s) const { return shards_[s]; }
+
+  /// Minimum cross-shard message delay the workload guarantees. Every
+  /// post() made while executing events in a window ending at E must
+  /// satisfy at >= E; lookahead is what makes the windows non-empty.
+  /// Defaults to kNoLookahead (no cross-shard traffic at all).
+  void set_lookahead(SimTime lookahead);
+  SimTime lookahead() const { return lookahead_; }
+  static constexpr SimTime kNoLookahead = Simulator::kNoEventTime / 2;
+
+  /// Cross-shard handoff: run `cb` on shard `to` at absolute time `at`.
+  /// Must be called from shard `from`'s executing event (its worker
+  /// thread). `from == to` degenerates to a plain local schedule_at.
+  /// Injection order at the destination is (at, from, per-mailbox seq).
+  void post(std::size_t from, std::size_t to, SimTime at, Simulator::Callback cb);
+
+  /// Stop-the-world event at absolute time `at`: runs on the coordinator
+  /// thread with every shard quiescent at `at` (events before `at` done,
+  /// events at `at` not started). Same-time globals run in FIFO order.
+  /// Only callable between run_until calls or from inside a global event.
+  void schedule_global(SimTime at, Simulator::Callback cb);
+
+  /// Advance every shard to exactly `until` (events at `until` execute,
+  /// like Simulator::run_until); successive calls compose.
+  void run_until(SimTime until);
+
+  /// Completed horizon: every shard's clock equals this between runs.
+  SimTime now() const { return horizon_; }
+
+  /// Sum of events executed across shards.
+  std::uint64_t events_executed() const;
+
+  const Stats& stats() const { return stats_; }
+
+  /// Cold path: wire metrics (sim.shards, sim.epochs, sim.null_messages,
+  /// sim.mailbox.handoffs, sim.shard.events histogram). Counters are
+  /// flushed from the coordinator after each run_until, never from inside
+  /// the parallel phases, so instrumentation cannot perturb event order.
+  void set_obs(obs::Scope scope);
+
+ private:
+  struct Msg {
+    SimTime at = 0;
+    std::uint64_t seq = 0;   ///< per-mailbox FIFO order (producer program order)
+    std::uint32_t src = 0;   ///< source shard (merge tie-break after time)
+    Simulator::Callback cb;
+  };
+  struct Mailbox {
+    std::vector<Msg> msgs;     ///< appended by producer, swapped out by consumer
+    std::uint64_t next_seq = 0;
+  };
+  struct GlobalEvent {
+    SimTime at = 0;
+    std::uint64_t seq = 0;
+    Simulator::Callback cb;
+  };
+
+  Mailbox& mailbox(std::size_t from, std::size_t to) {
+    return mailboxes_[from * shards_.size() + to];
+  }
+  void drain_into(std::size_t s);
+  void flush_obs();
+
+  std::vector<Simulator> shards_;
+  ThreadPool* pool_;  ///< borrowed; nullptr = serial oracle mode
+  std::vector<Mailbox> mailboxes_;  ///< [from * n + to]
+  std::vector<GlobalEvent> globals_;  ///< min-heap by (at, seq)
+  std::uint64_t next_global_seq_ = 0;
+  SimTime lookahead_ = kNoLookahead;
+  SimTime horizon_ = 0;
+  /// Exclusive end of the window currently executing (or last executed).
+  /// Written by the coordinator only while the workers are idle; the pool
+  /// barrier publishes it to the workers that assert against it in post().
+  SimTime window_end_ = 0;
+  // Per-shard scratch, indexed by shard: written by that shard's worker
+  // during a phase, reduced by the coordinator after the barrier.
+  std::vector<SimTime> next_time_;
+  std::vector<std::uint64_t> injected_by_shard_;
+  std::vector<std::vector<Msg>> drain_scratch_;  ///< reused merge buffers
+
+  Stats stats_;
+  // Cached instruments (cold set_obs pattern) + last-flushed snapshots.
+  obs::Scope obs_;
+  obs::Counter* obs_epochs_ = nullptr;
+  obs::Counter* obs_null_messages_ = nullptr;
+  obs::Counter* obs_handoffs_ = nullptr;
+  obs::Counter* obs_global_events_ = nullptr;
+  obs::Gauge* obs_shards_ = nullptr;
+  obs::Histogram* obs_shard_events_ = nullptr;
+  Stats flushed_;
+  std::vector<std::uint64_t> flushed_events_;
+};
+
+}  // namespace vw::sim

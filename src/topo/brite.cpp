@@ -149,4 +149,48 @@ vadapt::CapacityGraph BriteTopology::overlay_capacity_graph(std::size_t count, R
   return graph;
 }
 
+BriteNetwork make_brite_network(sim::Simulator& sim, const BriteTopology& topo,
+                                std::size_t host_count, Rng& rng,
+                                const net::LinkConfig& access) {
+  if (host_count > topo.node_count()) {
+    throw std::invalid_argument("make_brite_network: host_count > nodes");
+  }
+  BriteNetwork out;
+  out.network = std::make_unique<net::Network>(sim);
+  net::Network& net = *out.network;
+
+  out.routers.reserve(topo.node_count());
+  for (std::size_t i = 0; i < topo.node_count(); ++i) {
+    out.routers.push_back(net.add_router("brite-r" + std::to_string(i)));
+  }
+  for (const BriteEdge& e : topo.edges()) {
+    net::LinkConfig cfg;
+    cfg.bits_per_sec = e.bandwidth_bps;
+    cfg.prop_delay = std::max<SimTime>(1, seconds(e.latency_s));
+    net.add_link(out.routers[e.a], out.routers[e.b], cfg);
+  }
+
+  // Distinct attachment routers via the same partial Fisher-Yates used by
+  // overlay_capacity_graph, so placement is a pure function of `rng`.
+  std::vector<std::size_t> all(topo.node_count());
+  std::iota(all.begin(), all.end(), 0);
+  for (std::size_t i = 0; i < host_count; ++i) {
+    const auto j = static_cast<std::size_t>(rng.uniform_int(
+        static_cast<std::int64_t>(i), static_cast<std::int64_t>(topo.node_count()) - 1));
+    std::swap(all[i], all[j]);
+  }
+  net::LinkConfig access_cfg = access;
+  access_cfg.prop_delay = std::max<SimTime>(1, access_cfg.prop_delay);
+  out.hosts.reserve(host_count);
+  out.host_router.reserve(host_count);
+  for (std::size_t i = 0; i < host_count; ++i) {
+    const net::NodeId h = net.add_host("brite-h" + std::to_string(i));
+    net.add_link(h, out.routers[all[i]], access_cfg);
+    out.hosts.push_back(h);
+    out.host_router.push_back(all[i]);
+  }
+  net.compute_routes();
+  return out;
+}
+
 }  // namespace vw::topo

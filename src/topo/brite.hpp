@@ -1,8 +1,10 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "net/network.hpp"
 #include "util/rng.hpp"
 #include "vadapt/problem.hpp"
 
@@ -67,5 +69,25 @@ class BriteTopology {
   std::vector<std::vector<std::int32_t>> parent_;
   std::vector<std::vector<double>> dist_;
 };
+
+/// A packet-level net::Network instantiated from a BRITE topology: one
+/// router per BRITE node (links carry the generated bandwidth and latency),
+/// plus `host_count` end hosts attached to distinct randomly chosen routers
+/// over access links. Built for the sharded-engine scale-up runs: the router
+/// mesh gives Network::partition a real edge-cut to optimize, and the BRITE
+/// latencies (tens of microseconds and up) give it usable lookahead.
+struct BriteNetwork {
+  std::unique_ptr<net::Network> network;
+  std::vector<net::NodeId> routers;      ///< index-aligned with BRITE nodes
+  std::vector<net::NodeId> hosts;        ///< the attached end hosts
+  std::vector<std::size_t> host_router;  ///< BRITE node each host attaches to
+};
+
+/// Builds the network above on `sim` and computes routes. Propagation delays
+/// are clamped to >= 1 ns so any cut channel has positive lookahead. The
+/// choice of host attachment points is a pure function of `rng`.
+BriteNetwork make_brite_network(sim::Simulator& sim, const BriteTopology& topo,
+                                std::size_t host_count, Rng& rng,
+                                const net::LinkConfig& access = {1e9, micros(5), 256 * 1024});
 
 }  // namespace vw::topo

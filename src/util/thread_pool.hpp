@@ -60,6 +60,26 @@ class ThreadPool {
     while (!(queue_.empty() && active_ == 0)) cv_idle_.wait(mu_);
   }
 
+  /// Run `fn(0) .. fn(count-1)` across the workers and block until every
+  /// one has finished. This is the batch-reuse entry point: callers keep one
+  /// persistent pool alive across batches (multi-start annealing rounds,
+  /// sharded-simulator epochs) instead of paying thread spawn/join per
+  /// batch. The barrier is whole-pool idleness, so a batch must not be
+  /// interleaved with unrelated submit() traffic whose completion the
+  /// caller does not want to wait for. `fn` is shared by the workers and
+  /// must be safe to invoke concurrently with distinct indices.
+  void run_batch(std::size_t count, const std::function<void(std::size_t)>& fn)
+      VW_EXCLUDES(mu_) {
+    {
+      MutexLock lock(mu_);
+      for (std::size_t i = 0; i < count; ++i) {
+        queue_.push_back([&fn, i] { fn(i); });
+      }
+    }
+    cv_task_.notify_all();
+    wait_idle();
+  }
+
   std::size_t thread_count() const { return workers_.size(); }
 
   static std::size_t default_thread_count() {

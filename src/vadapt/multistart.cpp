@@ -46,16 +46,21 @@ MultiStartResult multi_start_annealing(const CapacityGraph& graph,
     }
   };
 
-  std::size_t threads = params.threads == 0 ? ThreadPool::default_thread_count() : params.threads;
-  threads = std::min(threads, params.chains);
-  if (threads <= 1 || params.chains == 1) {
-    for (std::size_t k = 0; k < params.chains; ++k) run_chain(k);
+  if (params.pool != nullptr && params.chains > 1) {
+    params.pool->run_batch(params.chains, run_chain);
   } else {
-    ThreadPool pool(threads);
-    for (std::size_t k = 0; k < params.chains; ++k) {
-      pool.submit([&run_chain, k] { run_chain(k); });
+    std::size_t threads =
+        params.threads == 0 ? ThreadPool::default_thread_count() : params.threads;
+    threads = std::min(threads, params.chains);
+    if (threads <= 1 || params.chains == 1) {
+      for (std::size_t k = 0; k < params.chains; ++k) run_chain(k);
+    } else {
+      ThreadPool pool(threads);
+      for (std::size_t k = 0; k < params.chains; ++k) {
+        pool.submit([&run_chain, k] { run_chain(k); });
+      }
+      pool.wait_idle();
     }
-    pool.wait_idle();
   }
 
   // Propagate the first (lowest-index) chain failure deterministically.

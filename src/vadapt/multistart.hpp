@@ -4,6 +4,7 @@
 #include <optional>
 #include <vector>
 
+#include "util/thread_pool.hpp"
 #include "vadapt/annealing.hpp"
 #include "vadapt/problem.hpp"
 
@@ -23,6 +24,12 @@ struct MultiStartParams {
   std::size_t threads = 0;   ///< worker threads; 0 = one per hardware thread
   std::uint64_t seed = 1;    ///< split into per-chain streams
   AnnealingParams annealing; ///< shared by every chain
+  /// Persistent worker pool (borrowed). When set, chains run as one batch
+  /// on it — callers that adapt repeatedly (VirtuosoSystem's control loop)
+  /// stop paying thread spawn/join per adaptation — and `threads` is
+  /// ignored. When null, a pool is constructed per call as before. The
+  /// outcome is identical either way: chains write index-aligned slots.
+  ThreadPool* pool = nullptr;
   /// When an initial configuration is supplied (e.g. the greedy solution),
   /// chain 0 starts from it and the remaining chains start from independent
   /// random configurations; false makes every chain start from the initial.

@@ -366,6 +366,14 @@ AdaptationOutcome VirtuosoSystem::adapt_now(AdaptationAlgorithm algorithm) {
       vadapt::MultiStartParams ms = config_.multistart;
       ms.annealing = config_.annealing;
       ms.seed = rng_service_.seed_for("vadapt.multistart");
+      if (ms.pool == nullptr && ms.chains > 1) {
+        if (annealing_pool_ == nullptr) {
+          std::size_t threads =
+              ms.threads == 0 ? ThreadPool::default_thread_count() : ms.threads;
+          annealing_pool_ = std::make_unique<ThreadPool>(std::min(threads, ms.chains));
+        }
+        ms.pool = annealing_pool_.get();
+      }
       auto result = vadapt::multi_start_annealing(graph, demands, n_vms, config_.objective, ms,
                                                   std::move(gh.configuration));
       conf = std::move(result.best.best);

@@ -252,6 +252,11 @@ class VirtuosoSystem {
   std::uint64_t failure_replans_ = 0;
   std::uint64_t daemons_declared_dead_ = 0;
   std::unique_ptr<soap::TelemetryService> telemetry_;
+  /// Lazily created on the first multi-start adaptation, then reused by
+  /// every subsequent one — the control loop adapts repeatedly, and thread
+  /// spawn/join per adaptation was pure overhead. Workers are parked
+  /// between batches, so an idle pool costs nothing in virtual time.
+  std::unique_ptr<ThreadPool> annealing_pool_;
   obs::Counter* c_adaptations_ = nullptr;
   obs::Counter* c_migrations_issued_ = nullptr;
   obs::Counter* c_reservations_granted_ = nullptr;

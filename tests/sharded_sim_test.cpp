@@ -1,0 +1,407 @@
+// Sharded conservative-engine regression suite: the determinism contract
+// (event order is a pure function of the workload, never of shard count or
+// thread count), the lookahead/epoch protocol, the topology partitioner,
+// the packet-level cross-shard datapath, and the end-to-end chaos
+// differential against the single-shard oracle's golden signatures
+// (tests/golden/).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/fault.hpp"
+#include "net/network.hpp"
+#include "obs/metrics.hpp"
+#include "sim/sharded.hpp"
+#include "sim/simulator.hpp"
+#include "topo/testbed.hpp"
+#include "util/thread_pool.hpp"
+#include "virtuoso/system.hpp"
+#include "vm/apps.hpp"
+#include "vm/machine.hpp"
+
+namespace vw {
+namespace {
+
+// --- deterministic token walk ------------------------------------------------
+// A synthetic workload with heavy cross-shard traffic: kTokens tokens hop
+// between kNodes logical nodes for kSteps steps. Every hop is a pure
+// function of (token, step) — splitmix64 picks the next node and a delay of
+// at least the lookahead — so the full per-node event trace is defined by
+// the workload alone and any two runs can be compared bit-for-bit.
+
+constexpr int kNodes = 16;
+constexpr int kTokens = 256;
+constexpr int kSteps = 400;  // 256 * 400 = 102,400 hop events
+constexpr SimTime kWalkLookahead = 100;
+
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// One recorded hop: (virtual time, token * 1000 + step).
+using Trace = std::vector<std::pair<SimTime, std::uint64_t>>;
+
+struct Walk {
+  sim::ShardedSimulator& ssim;
+  std::vector<Trace>& traces;  ///< per logical node; node -> shard is fixed
+
+  std::size_t shard_of(int node) const { return node % ssim.shard_count(); }
+
+  void hop(std::uint64_t token, int step, int node, SimTime at) {
+    traces[static_cast<std::size_t>(node)].push_back(
+        {at, token * 1000 + static_cast<std::uint64_t>(step)});
+    if (step + 1 >= kSteps) return;
+    const std::uint64_t h = mix(token * 1315423911ull + static_cast<std::uint64_t>(step));
+    const int next = static_cast<int>(h % kNodes);
+    const SimTime delay = kWalkLookahead + static_cast<SimTime>((h >> 32) % (8 * kWalkLookahead));
+    const SimTime then = at + delay;
+    ssim.post(shard_of(node), shard_of(next), then,
+              [this, token, step, next, then] { hop(token, step + 1, next, then); });
+  }
+};
+
+/// Runs the walk on `shards` shards with `threads` pool workers (0 = serial
+/// oracle dispatch) and returns the per-node traces.
+std::vector<Trace> run_walk(std::size_t shards, std::size_t threads,
+                            sim::ShardedSimulator::Stats* stats_out = nullptr) {
+  std::optional<ThreadPool> pool;
+  if (threads > 0) pool.emplace(threads);
+  sim::ShardedSimulator ssim(shards, pool ? &*pool : nullptr);
+  ssim.set_lookahead(kWalkLookahead);
+  std::vector<Trace> traces(kNodes);
+  Walk walk{ssim, traces};
+  for (int tok = 0; tok < kTokens; ++tok) {
+    const auto token = static_cast<std::uint64_t>(tok);
+    const int start = static_cast<int>(mix(token) % kNodes);
+    const SimTime t0 = static_cast<SimTime>(mix(token ^ 0xabcdull) % 1000);
+    ssim.shard(walk.shard_of(start))
+        .schedule_at(t0, [&walk, token, start, t0] { walk.hop(token, 0, start, t0); });
+  }
+  ssim.run_until(seconds(1.0));
+  // One event per hop: step 0 runs inside the injection event, steps
+  // 1..kSteps-1 via post, so kTokens * kSteps events in total.
+  EXPECT_EQ(ssim.events_executed(), static_cast<std::uint64_t>(kTokens) * kSteps);
+  if (stats_out != nullptr) *stats_out = ssim.stats();
+  return traces;
+}
+
+/// Sorts each node's trace by (time, payload), keeping only the what/when
+/// set. Used for cross-shard-count comparison, where same-(node, time)
+/// tie order may legally differ from the serial engine's schedule order.
+std::vector<Trace> sorted(std::vector<Trace> traces) {
+  for (Trace& t : traces) std::sort(t.begin(), t.end());
+  return traces;
+}
+
+TEST(ShardedSchedulerTest, WalkMatchesSerialOracleAcrossShardCounts) {
+  const std::vector<Trace> oracle = sorted(run_walk(1, 0));
+  for (std::size_t shards : {2u, 4u, 8u}) {
+    sim::ShardedSimulator::Stats stats;
+    const std::vector<Trace> got = sorted(run_walk(shards, shards, &stats));
+    EXPECT_EQ(got, oracle) << "trace diverged at " << shards << " shards";
+    EXPECT_GT(stats.epochs, 0u);
+    EXPECT_GT(stats.handoffs, 0u);
+    EXPECT_GT(stats.null_messages, 0u);
+  }
+}
+
+TEST(ShardedSchedulerTest, TraceIsIndependentOfThreadCount) {
+  // Same sharding, different worker counts (including the no-pool serial
+  // dispatch): bit-identical traces *including* same-time tie order, which
+  // is what proves the merge never observes thread arrival order.
+  const std::vector<Trace> base = run_walk(4, 0);
+  EXPECT_EQ(run_walk(4, 2), base);
+  EXPECT_EQ(run_walk(4, 8), base);
+}
+
+TEST(ShardedSchedulerTest, RunUntilComposesAcrossCalls) {
+  sim::ShardedSimulator a(3);
+  sim::ShardedSimulator b(3);
+  a.set_lookahead(kWalkLookahead);
+  b.set_lookahead(kWalkLookahead);
+  std::vector<Trace> ta(kNodes);
+  std::vector<Trace> tb(kNodes);
+  Walk wa{a, ta};
+  Walk wb{b, tb};
+  a.shard(0).schedule_at(0, [&wa] { wa.hop(1, 0, 0, 0); });
+  b.shard(0).schedule_at(0, [&wb] { wb.hop(1, 0, 0, 0); });
+  a.run_until(millis(1));
+  for (SimTime t = micros(1); t <= millis(1); t += micros(1)) b.run_until(t);
+  EXPECT_EQ(a.now(), b.now());
+  EXPECT_EQ(ta, tb);
+}
+
+TEST(ShardedSchedulerTest, GlobalEventsAreStopTheWorldOrdered) {
+  sim::ShardedSimulator ssim(2);
+  ssim.set_lookahead(50);
+  std::vector<std::string> order;
+  ssim.shard(0).schedule_at(100, [&] { order.push_back("shard0@100"); });
+  ssim.shard(1).schedule_at(100, [&] { order.push_back("shard1@100"); });
+  ssim.shard(1).schedule_at(40, [&] { order.push_back("shard1@40"); });
+  ssim.schedule_global(100, [&] {
+    order.push_back("globalA@100");
+    EXPECT_EQ(ssim.now(), SimTime{100});
+  });
+  ssim.schedule_global(100, [&] { order.push_back("globalB@100"); });
+  ssim.schedule_global(60, [&] { order.push_back("global@60"); });
+  ssim.run_until(200);
+  // Globals run after every event strictly before their time and before any
+  // shard event at it; same-time globals keep FIFO order.
+  const std::vector<std::string> expect = {"shard1@40", "global@60", "globalA@100",
+                                           "globalB@100", "shard0@100", "shard1@100"};
+  EXPECT_EQ(order, expect);
+  EXPECT_EQ(ssim.stats().global_events, 3u);
+  EXPECT_EQ(ssim.now(), SimTime{200});
+}
+
+TEST(ShardedSchedulerTest, ExportsObsMetrics) {
+  SimTime now = 0;
+  obs::MetricsRegistry reg([&now] { return now; });
+  std::optional<ThreadPool> pool;
+  pool.emplace(2);
+  sim::ShardedSimulator ssim(2, &*pool);
+  ssim.set_lookahead(kWalkLookahead);
+  ssim.set_obs(obs::Scope{&reg, nullptr});
+  std::vector<Trace> traces(kNodes);
+  Walk walk{ssim, traces};
+  ssim.shard(0).schedule_at(0, [&walk] { walk.hop(7, 0, 0, 0); });
+  ssim.run_until(millis(1));
+  EXPECT_EQ(reg.counter("sim.epochs").value(), ssim.stats().epochs);
+  EXPECT_EQ(reg.counter("sim.null_messages").value(), ssim.stats().null_messages);
+  EXPECT_EQ(reg.counter("sim.mailbox.handoffs").value(), ssim.stats().handoffs);
+  EXPECT_DOUBLE_EQ(reg.gauge("sim.shards").value(), 2.0);
+  EXPECT_GT(ssim.stats().handoffs, 0u);
+}
+
+// --- topology partitioner ----------------------------------------------------
+
+TEST(ShardedPartitionTest, StarPartitionBalancesHostsAndFindsLookahead) {
+  sim::Simulator sim;
+  net::Network net(sim);
+  const net::NodeId sw = net.add_router("sw");
+  net::LinkConfig link;
+  link.prop_delay = micros(50);
+  std::vector<net::NodeId> hosts;
+  for (int i = 0; i < 32; ++i) {
+    hosts.push_back(net.add_host("h" + std::to_string(i)));
+    net.add_link(hosts.back(), sw, link);
+  }
+  net.compute_routes();
+  net::Network::PartitionOptions four;
+  four.shards = 4;
+  const auto plan = net.partition(four);
+  ASSERT_EQ(plan.shards, 4u);
+  std::vector<int> hosts_per_shard(4, 0);
+  for (const net::NodeId h : hosts) ++hosts_per_shard[plan.node_shard[h]];
+  for (int c : hosts_per_shard) EXPECT_EQ(c, 8);
+  EXPECT_EQ(plan.lookahead, micros(50));
+  // Determinism: same topology, same options, same plan.
+  EXPECT_EQ(net.partition(four).node_shard, plan.node_shard);
+}
+
+TEST(ShardedPartitionTest, PinGroupsStayTogetherAndSingleShardHasNoCut) {
+  sim::Simulator sim;
+  topo::ChallengeNetwork tb = topo::make_challenge_network(sim);
+  net::Network::PartitionOptions opts;
+  opts.shards = 4;
+  opts.pin_groups = {tb.hosts()};
+  const auto plan = tb.network->partition(opts);
+  for (const net::NodeId h : tb.hosts()) {
+    EXPECT_EQ(plan.node_shard[h], plan.node_shard[tb.hosts()[0]]);
+  }
+  EXPECT_GT(plan.lookahead, 0);
+
+  const auto solo = tb.network->partition(net::Network::PartitionOptions{});
+  EXPECT_EQ(solo.lookahead, 0);  // nothing crosses
+  for (const auto s : solo.node_shard) EXPECT_EQ(s, 0u);
+}
+
+// --- packet-level cross-shard datapath ---------------------------------------
+// A 8-host star ping-pong through raw host stacks (the micro_parallel_sim
+// workload, shrunk). Each host receives from exactly one peer, so per-host
+// delivery traces must be bit-identical between the serial oracle and any
+// sharded run.
+
+std::vector<Trace> run_star(std::size_t shards) {
+  constexpr int kHosts = 8;
+  std::optional<ThreadPool> pool;
+  if (shards > 1) pool.emplace(shards);
+  sim::ShardedSimulator ssim(shards, pool ? &*pool : nullptr);
+  net::Network net(ssim.shard(0));
+  const net::NodeId sw = net.add_router("sw");
+  net::LinkConfig link;
+  link.bits_per_sec = 1e9;
+  link.prop_delay = micros(50);
+  std::vector<net::NodeId> hosts;
+  for (int i = 0; i < kHosts; ++i) {
+    hosts.push_back(net.add_host("h" + std::to_string(i)));
+    net.add_link(hosts.back(), sw, link);
+  }
+  net.compute_routes();
+  net::Network::PartitionOptions popts;
+  popts.shards = shards;
+  const auto plan = net.partition(popts);
+  net.bind_shards(ssim, plan);
+  if (plan.lookahead > 0) ssim.set_lookahead(plan.lookahead);
+
+  std::vector<Trace> traces(kHosts);
+  for (int i = 0; i < kHosts; ++i) {
+    const net::NodeId me = hosts[static_cast<std::size_t>(i)];
+    const net::NodeId peer = hosts[static_cast<std::size_t>((i + kHosts / 2) % kHosts)];
+    net.set_host_stack(me, [&net, &traces, &ssim, plan, i, me, peer](net::Packet&& pkt) {
+      traces[static_cast<std::size_t>(i)].push_back(
+          {net.sim_for(me).now(), pkt.seq});
+      if (pkt.seq >= 200) return;  // each direction stops after 200 turns
+      net::Packet reply;
+      reply.flow = net::FlowKey{me, peer, 4000, 4000, net::Protocol::kUdp};
+      reply.payload_bytes = 960;
+      reply.seq = pkt.seq + 1;
+      net.send(std::move(reply));
+    });
+  }
+  for (int i = 0; i < kHosts / 2; ++i) {
+    const net::NodeId me = hosts[static_cast<std::size_t>(i)];
+    const net::NodeId peer = hosts[static_cast<std::size_t>(i + kHosts / 2)];
+    net.sim_for(me).schedule_at(0, [&net, me, peer] {
+      net::Packet pkt;
+      pkt.flow = net::FlowKey{me, peer, 4000, 4000, net::Protocol::kUdp};
+      pkt.payload_bytes = 960;
+      pkt.seq = 1;
+      net.send(std::move(pkt));
+    });
+  }
+  ssim.run_until(seconds(1.0));
+  EXPECT_GT(net.packets_delivered(), 0u);
+  return traces;
+}
+
+TEST(ShardedNetworkTest, StarDeliveriesMatchSerialOracle) {
+  const std::vector<Trace> oracle = run_star(1);
+  EXPECT_EQ(run_star(2), oracle);
+  EXPECT_EQ(run_star(4), oracle);
+}
+
+// --- end-to-end chaos differential -------------------------------------------
+// The fig10-style chaos scenario of tests/chaos_test.cpp, re-run on the
+// sharded engine. All six hosts are pinned to one shard (the upper layers —
+// VirtuosoSystem, transport, the traffic app — share state and schedule on
+// shard 0); the switches and the inter-domain WAN link land elsewhere, so
+// every packet crossing the domains crosses shards twice. Faults go through
+// the stop-the-world global-event path. The run must reproduce the serial
+// engine's golden signature (tests/golden/chaos_signature_seed*.txt,
+// recorded as the machine string below) bit-for-bit at every shard count.
+
+constexpr const char* kGoldenChaosSignature = "7,6,5,2,4,1,3,12,3,6,158,843,3";
+
+std::string run_chaos_scenario_sharded(std::uint64_t seed, std::size_t shards) {
+  std::optional<ThreadPool> pool;
+  if (shards > 1) pool.emplace(shards);
+  sim::ShardedSimulator ssim(shards, pool ? &*pool : nullptr);
+  sim::Simulator& sim = ssim.shard(0);
+  topo::ChallengeNetwork tb = topo::make_challenge_network(sim);
+
+  net::Network::PartitionOptions popts;
+  popts.shards = shards;
+  popts.pin_groups = {tb.hosts()};
+  const auto plan = tb.network->partition(popts);
+  // The pinned host blob is the heaviest component, so LPT places it on
+  // shard 0 — where the upper layers were just constructed.
+  for (const net::NodeId h : tb.hosts()) EXPECT_EQ(plan.node_shard[h], 0u);
+  tb.network->bind_shards(ssim, plan);
+  if (plan.lookahead > 0) ssim.set_lookahead(plan.lookahead);
+
+  virtuoso::SystemConfig config;
+  config.seed = seed;
+  config.telemetry = false;
+  config.view_staleness_horizon = seconds(10.0);
+  config.control_heartbeat_period = seconds(1.0);
+  config.daemon_timeout = seconds(5.0);
+  config.control.send_timeout = seconds(4.0);
+  config.control.backoff_initial = millis(250);
+  virtuoso::VirtuosoSystem system(sim, *tb.network, config);
+
+  bool first = true;
+  for (net::NodeId h : tb.hosts()) {
+    system.add_daemon(h, tb.network->node(h).name, first);
+    first = false;
+  }
+  system.bootstrap(vnet::LinkProtocol::kUdp);
+
+  const std::uint64_t mem = 8ull << 20;
+  vm::VirtualMachine& v0 = system.create_vm("vm-0", tb.domain1_hosts[0], mem);
+  vm::VirtualMachine& v1 = system.create_vm("vm-1", tb.domain1_hosts[1], mem);
+  vm::VirtualMachine& v2 = system.create_vm("vm-2", tb.domain2_hosts[0], mem);
+  vm::VirtualMachine& v3 = system.create_vm("vm-3", tb.domain2_hosts[1], mem);
+  const std::vector<vm::VirtualMachine*> vms = {&v0, &v1, &v2, &v3};
+
+  vm::apps::DemandMatrix demands;
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      if (i != j) demands[{i, j}] = 8e6;
+    }
+  }
+  demands[{0, 3}] = demands[{3, 0}] = 0.5e6;
+  vm::apps::MatrixTrafficApp app(sim, vms, demands, millis(100));
+  app.start();
+
+  const topo::ChallengeScenario truth = topo::make_challenge_scenario();
+  const auto hosts = tb.hosts();
+  sim::PeriodicTask oracle(sim, seconds(2.0), [&] {
+    for (std::size_t i = 0; i < hosts.size(); ++i) {
+      for (std::size_t j = 0; j < hosts.size(); ++j) {
+        if (i == j || !tb.network->path_up(hosts[i], hosts[j])) continue;
+        system.network_view().update_bandwidth(hosts[i], hosts[j],
+                                               truth.graph.bandwidth(i, j), sim.now());
+        system.network_view().update_latency(hosts[i], hosts[j], truth.graph.latency(i, j),
+                                             sim.now());
+      }
+    }
+  });
+
+  system.enable_auto_adaptation(virtuoso::AdaptationAlgorithm::kGreedy, seconds(10.0));
+
+  net::FaultPlan faults(ssim, *tb.network);
+  faults.link_outage(seconds(5.0), seconds(23.0), tb.switch1, tb.switch2);
+
+  ssim.run_until(seconds(60.0));
+  app.stop();
+
+  std::ostringstream sig;
+  for (const vm::VirtualMachine* m : vms) {
+    sig << (m->attached() ? static_cast<long long>(m->host()) : -1) << ",";
+  }
+  sig << system.auto_adaptations() << "," << system.failure_replans() << ","
+      << system.migration().migrations_failed() << ","
+      << system.migration().migrations_started() << ","
+      << system.control_plane().reconnects() << ","
+      << system.control_plane().disconnects() << ","
+      << system.control_plane().messages_resent() << ","
+      << system.control_plane().messages_delivered() << ","
+      << system.daemons_declared_dead();
+  return sig.str();
+}
+
+TEST(ShardedChaosTest, GoldenSignatureAtEveryShardCountSeed42) {
+  for (std::size_t shards : {1u, 2u, 4u, 8u}) {
+    EXPECT_EQ(run_chaos_scenario_sharded(42, shards), kGoldenChaosSignature)
+        << "diverged at " << shards << " shards";
+  }
+}
+
+TEST(ShardedChaosTest, GoldenSignatureAtEveryShardCountSeed7) {
+  for (std::size_t shards : {1u, 2u, 4u, 8u}) {
+    EXPECT_EQ(run_chaos_scenario_sharded(7, shards), kGoldenChaosSignature)
+        << "diverged at " << shards << " shards";
+  }
+}
+
+}  // namespace
+}  // namespace vw
