@@ -10,7 +10,10 @@
 //
 // Output: CSV series time_s, app_tput_mbps, wren_availbw_mbps over the
 // W&M -> NWU path carrying the VNET star traffic.
+//
+//   $ fig4_vnet_bsp [--capture DIR]   # DIR gets one vw.trace.v1 shard per host
 
+#include <cstring>
 #include <iostream>
 
 #include "topo/testbed.hpp"
@@ -20,11 +23,22 @@
 
 using namespace vw;
 
-int main() {
+int main(int argc, char** argv) {
+  std::string capture_dir;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--capture") == 0 && i + 1 < argc) {
+      capture_dir = argv[++i];
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--capture DIR]\n";
+      return 2;
+    }
+  }
+
   sim::Simulator sim;
   topo::NwuWmTestbed tb = topo::make_nwu_wm_network(sim);
 
   virtuoso::SystemConfig config;
+  config.capture_dir = capture_dir;
   virtuoso::VirtuosoSystem system(sim, *tb.network, config);
   // Proxy at NWU (minet-1), daemons everywhere.
   system.add_daemon(tb.minet1, "minet-1", /*is_proxy=*/true);
@@ -77,5 +91,11 @@ int main() {
   std::cerr << "fig4: supersteps=" << app.supersteps_completed()
             << " records_captured=" << trace.records_captured()
             << " observations=" << wm_wren.observations_total() << "\n";
+  system.finish_capture();
+  if (wren::CaptureSession* capture = system.capture()) {
+    std::cerr << "fig4 capture: " << capture->writers().size() << " shard(s) in "
+              << capture->dir() << ", " << capture->records_captured() << " records, "
+              << capture->records_dropped() << " dropped\n";
+  }
   return 0;
 }

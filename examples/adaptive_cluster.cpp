@@ -19,6 +19,7 @@
 //   --trace FILE           export Chrome trace_event JSON (about:tracing)
 //   --events-jsonl FILE    export the trace events as JSONL
 //   --no-telemetry         disable the observability subsystem entirely
+//   --capture DIR          persist per-host vw.trace.v1 packet-trace shards
 
 #include <cstring>
 #include <fstream>
@@ -40,6 +41,7 @@ struct Options {
   std::string metrics_csv;
   std::string trace;
   std::string events_jsonl;
+  std::string capture_dir;
   bool telemetry = true;
 };
 
@@ -61,6 +63,8 @@ Options parse_options(int argc, char** argv) {
       opt.trace = need_value(i++);
     } else if (std::strcmp(argv[i], "--events-jsonl") == 0) {
       opt.events_jsonl = need_value(i++);
+    } else if (std::strcmp(argv[i], "--capture") == 0) {
+      opt.capture_dir = need_value(i++);
     } else if (std::strcmp(argv[i], "--no-telemetry") == 0) {
       opt.telemetry = false;
     } else {
@@ -93,6 +97,7 @@ int main(int argc, char** argv) {
   config.annealing.iterations = 3000;
   config.multistart.chains = 4;  // chain 0 seeded with GH, 3 random restarts
   config.telemetry = opt.telemetry;
+  config.capture_dir = opt.capture_dir;  // binary trace shards, one per host
   virtuoso::VirtuosoSystem system(sim, *tb.network, config);
 
   bool first = true;
@@ -187,6 +192,12 @@ int main(int argc, char** argv) {
     if (!opt.events_jsonl.empty()) {
       write_file(opt.events_jsonl, obs::events_jsonl(system.tracer()->events()));
     }
+  }
+  system.finish_capture();
+  if (wren::CaptureSession* capture = system.capture()) {
+    std::cout << "capture: " << capture->writers().size() << " shard(s) in " << capture->dir()
+              << ", " << capture->records_captured() << " records, "
+              << capture->records_dropped() << " dropped\n";
   }
   return 0;
 }

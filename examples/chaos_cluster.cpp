@@ -21,7 +21,14 @@
 //
 //   $ ./examples/chaos_cluster [--seed N] [--metrics-json FILE]
 //     [--metrics-csv FILE] [--trace FILE] [--events-jsonl FILE]
-//     [--no-telemetry]
+//     [--no-telemetry] [--capture DIR]
+//
+// --capture DIR persists every daemon host's packet-header trace as a
+// vw.trace.v1 binary shard under DIR (one file per host, written by a
+// dedicated writer thread behind a lock-free ring), turning each chaos run
+// into a reusable measurement corpus for the vwcap-* tools and offline
+// replay. Capture only observes — the run signature is bit-identical with
+// and without it.
 
 #include <cstring>
 #include <fstream>
@@ -45,6 +52,7 @@ struct Options {
   std::string metrics_csv;
   std::string trace;
   std::string events_jsonl;
+  std::string capture_dir;
   bool telemetry = true;
 };
 
@@ -68,6 +76,8 @@ Options parse_options(int argc, char** argv) {
       opt.trace = need_value(i++);
     } else if (std::strcmp(argv[i], "--events-jsonl") == 0) {
       opt.events_jsonl = need_value(i++);
+    } else if (std::strcmp(argv[i], "--capture") == 0) {
+      opt.capture_dir = need_value(i++);
     } else if (std::strcmp(argv[i], "--no-telemetry") == 0) {
       opt.telemetry = false;
     } else {
@@ -108,6 +118,7 @@ int main(int argc, char** argv) {
   config.daemon_timeout = seconds(5.0);
   config.control.send_timeout = seconds(4.0);
   config.control.backoff_initial = millis(250);
+  config.capture_dir = opt.capture_dir;
   virtuoso::VirtuosoSystem system(sim, *tb.network, config);
 
   bool first = true;
@@ -163,6 +174,12 @@ int main(int argc, char** argv) {
 
   sim.run_until(seconds(100.0));
   app.stop();
+  system.finish_capture();
+  if (wren::CaptureSession* capture = system.capture()) {
+    std::cout << "capture: " << capture->writers().size() << " shard(s) in " << capture->dir()
+              << ", " << capture->records_captured() << " records, "
+              << capture->records_dropped() << " dropped\n";
+  }
 
   // --- report ---------------------------------------------------------------
   const vnet::ControlPlane& control = system.control_plane();

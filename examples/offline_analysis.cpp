@@ -6,8 +6,17 @@
 // monitored transfer into a portable trace archive, writes it to disk,
 // reads it back, and reproduces the online estimate from the file alone.
 //
-//   $ ./examples/offline_analysis [archive-path]
+// It also runs the binary-capture differential: the same run is captured a
+// second time through the vw.trace.v1 datapath (tap -> lock-free ring ->
+// writer thread -> shard file, lossless kBlock mode), the shard is read
+// back, and the replayed SIC estimates must be bit-identical to the text
+// archive's. Exit status is nonzero when any estimate differs, so CI can
+// use this as the capture/replay correctness gate.
+//
+//   $ ./examples/offline_analysis [archive-path [binary-shard-path]]
 
+#include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -18,11 +27,13 @@
 #include "transport/stack.hpp"
 #include "wren/analyzer.hpp"
 #include "wren/offline.hpp"
+#include "wren/trace_writer.hpp"
 
 using namespace vw;
 
 int main(int argc, char** argv) {
   const std::string path = argc > 1 ? argv[1] : "/tmp/wren-trace.txt";
+  const std::string binary_path = argc > 2 ? argv[2] : "/tmp/wren-trace.vwtrace";
 
   // --- capture phase -----------------------------------------------------
   sim::Simulator sim;
@@ -42,6 +53,12 @@ int main(int argc, char** argv) {
 
   wren::TraceFacility trace(net, sender, 1 << 20);
   wren::OnlineAnalyzer online(net, sender);  // for comparison
+
+  // Second capture path, same tap source: the binary datapath in lossless
+  // mode (the differential below demands a complete shard).
+  wren::TraceWriterParams wp;
+  wp.overflow = wren::TraceWriterParams::Overflow::kBlock;
+  wren::TraceWriter writer(net, sender, binary_path, wp);
 
   transport::CbrUdpSource cbr(stack, cross, receiver, 7000, 35e6, 1000);
   cbr.start();
@@ -72,5 +89,49 @@ int main(int argc, char** argv) {
   if (auto live = online.available_bandwidth_bps(receiver)) {
     std::cout << "online analyzer said:   " << *live / 1e6 << " Mb/s\n";
   }
-  return 0;
+
+  // --- binary differential ------------------------------------------------
+  // The vw.trace.v1 shard captured by the writer thread must replay to the
+  // exact same estimates as the text archive: same records in, same SIC
+  // math, bit-identical doubles out.
+  writer.finish();
+  const wren::BinaryTrace shard = wren::read_trace_binary_file(binary_path);
+  std::cout << "binary shard: " << shard.records.size() << " records ("
+            << writer.records_dropped() << " dropped) -> " << binary_path << "\n";
+  const wren::OfflineResult from_binary =
+      wren::analyze_offline(wren::filter_useful(shard.records));
+
+  int failures = 0;
+  if (writer.records_dropped() != 0) {
+    std::cerr << "DIFFERENTIAL FAIL: lossless capture dropped records\n";
+    ++failures;
+  }
+  if (from_binary.observations.size() != result.observations.size()) {
+    std::cerr << "DIFFERENTIAL FAIL: " << from_binary.observations.size()
+              << " observations from binary vs " << result.observations.size()
+              << " from text\n";
+    ++failures;
+  }
+  if (from_binary.estimates_bps.size() != result.estimates_bps.size()) {
+    std::cerr << "DIFFERENTIAL FAIL: flow count mismatch\n";
+    ++failures;
+  }
+  for (const auto& [flow, bps] : result.estimates_bps) {
+    const auto it =
+        std::find_if(from_binary.estimates_bps.begin(), from_binary.estimates_bps.end(),
+                     [&flow](const auto& e) { return e.first == flow; });
+    if (it == from_binary.estimates_bps.end()) {
+      std::cerr << "DIFFERENTIAL FAIL: flow to host " << flow.dst
+                << " missing from binary replay\n";
+      ++failures;
+    } else if (it->second != bps) {  // bit-identical, not approximately equal
+      std::fprintf(stderr, "DIFFERENTIAL FAIL: flow to host %u: %.17g vs %.17g\n",
+                   unsigned(flow.dst), it->second, bps);
+      ++failures;
+    }
+  }
+  if (failures == 0) {
+    std::cout << "binary replay differential: estimates bit-identical\n";
+  }
+  return failures == 0 ? 0 : 1;
 }

@@ -1,0 +1,120 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <utility>
+
+// Bounded lock-free ring for the capture datapath (trace producer on the
+// simulation thread, writer thread doing file I/O on the other side).
+//
+// The design is a sequence-stamped bounded queue (Vyukov): every cell
+// carries an atomic generation stamp, so a consumer claims a cell by CAS on
+// the dequeue cursor and the producer can only reuse the cell after the
+// consumer has re-stamped it. Why not a plain head/tail SPSC ring? Because
+// the capture path wants *drop-oldest* overflow: when the writer thread
+// falls behind, the producer discards the oldest buffered record (the
+// kernel-trace semantics TraceFacility already has) rather than the newest.
+// That makes the producer a second, occasional consumer — the per-cell
+// stamps keep that safe and TSan-clean, where a classic two-index SPSC ring
+// would race.
+//
+// Memory model:
+//   * try_push is single-producer only: the enqueue cursor is written with
+//     a plain store; the cell stamp release-publishes the value.
+//   * try_pop may be called from both the consumer thread and the producer
+//     (drop-oldest); contenders claim cells by CAS on the dequeue cursor
+//     and acquire-load the stamp before touching the value.
+//   * size_approx() is a racy estimate, good for gauges only.
+//
+// T must be nothrow-move-assignable; cells are default-constructed once at
+// construction time (the single allocation this ring ever makes).
+
+namespace vw {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is rounded up to the next power of two (minimum 2).
+  explicit SpscRing(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    mask_ = cap - 1;
+    cells_ = std::make_unique<Cell[]>(cap);
+    for (std::size_t i = 0; i < cap; ++i) {
+      cells_[i].stamp.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer-only. Returns false when the ring is full (the caller decides
+  /// whether to drop the new value, pop-and-discard the oldest, or wait).
+  bool try_push(T&& value) {
+    const std::size_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+    Cell& cell = cells_[pos & mask_];
+    const std::size_t stamp = cell.stamp.load(std::memory_order_acquire);
+    if (stamp != pos) return false;  // cell not yet recycled: full
+    cell.value = std::move(value);
+    cell.stamp.store(pos + 1, std::memory_order_release);
+    enqueue_pos_.store(pos + 1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Safe from the consumer thread and, concurrently, from the producer
+  /// implementing drop-oldest. Returns false when the ring is empty.
+  bool try_pop(T& out) {
+    std::size_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      const std::size_t stamp = cell.stamp.load(std::memory_order_acquire);
+      const std::ptrdiff_t diff =
+          static_cast<std::ptrdiff_t>(stamp) - static_cast<std::ptrdiff_t>(pos + 1);
+      if (diff == 0) {
+        if (dequeue_pos_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) {
+          out = std::move(cell.value);
+          // Recycle: the producer may write this cell again once it has
+          // lapped the ring.
+          cell.stamp.store(pos + mask_ + 1, std::memory_order_release);
+          return true;
+        }
+        // Lost the race to another consumer; `pos` was reloaded by the CAS.
+      } else if (diff < 0) {
+        return false;  // cell not yet published: empty
+      } else {
+        pos = dequeue_pos_.load(std::memory_order_relaxed);  // stale cursor
+      }
+    }
+  }
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  /// Racy occupancy estimate (for gauges; never use for control flow).
+  std::size_t size_approx() const {
+    const std::size_t enq = enqueue_pos_.load(std::memory_order_relaxed);
+    const std::size_t deq = dequeue_pos_.load(std::memory_order_relaxed);
+    return enq >= deq ? enq - deq : 0;
+  }
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> stamp;
+    T value;
+  };
+
+  // A fixed 64 rather than std::hardware_destructive_interference_size:
+  // the constant is ABI-stable and GCC warns (-Winterference-size) that the
+  // std value is not.
+  static constexpr std::size_t kCacheLine = 64;
+
+  std::unique_ptr<Cell[]> cells_;
+  std::size_t mask_ = 0;
+  // Cursors on separate cache lines: the producer hammers enqueue_pos_, the
+  // consumer dequeue_pos_; sharing a line would false-share every operation.
+  alignas(kCacheLine) std::atomic<std::size_t> enqueue_pos_{0};
+  alignas(kCacheLine) std::atomic<std::size_t> dequeue_pos_{0};
+};
+
+}  // namespace vw

@@ -80,6 +80,10 @@ VirtuosoSystem::VirtuosoSystem(sim::Simulator& sim, net::Network& network, Syste
   // entries stop answering queries once they outlive it.
   view_.set_clock([this] { return sim_.now(); });
   view_.set_staleness_horizon(config_.view_staleness_horizon);
+  if (!config_.capture_dir.empty()) {
+    capture_ = std::make_unique<wren::CaptureSession>(network_, config_.capture_dir,
+                                                      config_.capture);
+  }
   if (config_.telemetry) {
     const obs::Scope s = scope();
     stack_.set_obs(s);
@@ -98,16 +102,22 @@ VirtuosoSystem::VirtuosoSystem(sim::Simulator& sim, net::Network& network, Syste
     c_migration_failures_ = s.counter("virtuoso.migrations.failed");
     c_replans_ = s.counter("virtuoso.replans");
     c_daemons_dead_ = s.counter("virtuoso.daemons.declared_dead");
+    if (capture_) capture_->set_obs(s);
   }
 }
 
-VirtuosoSystem::~VirtuosoSystem() = default;
+VirtuosoSystem::~VirtuosoSystem() { finish_capture(); }
+
+void VirtuosoSystem::finish_capture() {
+  if (capture_) capture_->finish();
+}
 
 vnet::VnetDaemon& VirtuosoSystem::add_daemon(net::NodeId host, std::string name, bool is_proxy) {
   vnet::VnetDaemon& daemon = overlay_.create_daemon(host, name, is_proxy);
   DaemonRuntime rt;
   rt.analyzer = std::make_unique<wren::OnlineAnalyzer>(network_, host, config_.wren);
   if (config_.telemetry) rt.analyzer->set_obs(scope());
+  if (capture_) capture_->add_host(host);
   rt.service = std::make_unique<wren::WrenService>(registry_, *rt.analyzer,
                                                    "wren://" + daemon.name());
   rt.client = std::make_unique<wren::WrenClient>(registry_, "wren://" + daemon.name());

@@ -29,6 +29,7 @@
 #include "vttif/global.hpp"
 #include "vttif/local.hpp"
 #include "wren/analyzer.hpp"
+#include "wren/capture.hpp"
 #include "wren/service.hpp"
 #include "wren/view.hpp"
 
@@ -91,6 +92,14 @@ struct SystemConfig {
   bool telemetry = true;
   /// Trace ring capacity (events); oldest events are dropped when full.
   std::size_t trace_capacity = 16384;
+  /// When non-empty, every daemon host gets a wren::TraceWriter that
+  /// persists its packet-header trace as a vw.trace.v1 shard under this
+  /// directory (one file per host, shard tag = add order). Shards finalize
+  /// on finish_capture() or destruction and feed the vwcap-* tool suite +
+  /// offline replay.
+  std::string capture_dir;
+  /// Capture datapath tuning (ring size, batch, overflow policy).
+  wren::TraceWriterParams capture;
 };
 
 struct AdaptationOutcome {
@@ -166,6 +175,14 @@ class VirtuosoSystem {
   /// The SOAP telemetry endpoint name (registered during bootstrap()).
   static constexpr const char* kTelemetryEndpoint = "telemetry://proxy";
 
+  // --- packet-trace capture ----------------------------------------------------
+  /// The binary capture session (one vw.trace.v1 shard per daemon host);
+  /// null unless SystemConfig::capture_dir is set.
+  wren::CaptureSession* capture() { return capture_.get(); }
+  /// Finalize all capture shards (drain rings, join writer threads, patch
+  /// headers). Idempotent; also runs at destruction. No-op without capture.
+  void finish_capture();
+
   // --- adaptation inputs -------------------------------------------------------
   /// The capacity graph VADAPT sees: daemon hosts, bandwidth/latency from
   /// the Proxy's Wren view (unmeasured pairs get default_bandwidth_bps).
@@ -233,6 +250,7 @@ class VirtuosoSystem {
   net::ReservationManager reservation_manager_;
   std::vector<net::ReservationId> reservation_ids_;
   wren::GlobalNetworkView view_;
+  std::unique_ptr<wren::CaptureSession> capture_;
   std::unique_ptr<vttif::GlobalVttif> global_vttif_;
   vm::MigrationEngine migration_;
   std::map<net::NodeId, DaemonRuntime> runtimes_;

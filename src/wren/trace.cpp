@@ -16,6 +16,8 @@ TraceFacility::~TraceFacility() { network_.remove_host_tap(host_, tap_id_); }
 void TraceFacility::set_obs(const obs::Scope& scope) {
   c_captured_ = scope.counter("wren.trace.captured");
   c_dropped_ = scope.counter("wren.trace.dropped");
+  g_buffered_ = scope.gauge("wren.trace.buffered");
+  obs::set(g_buffered_, static_cast<double>(size_));
 }
 
 void TraceFacility::on_tap(const net::TapEvent& ev) {
@@ -46,6 +48,7 @@ void TraceFacility::on_tap(const net::TapEvent& ev) {
   };
   ++captured_;
   obs::add(c_captured_);
+  obs::set(g_buffered_, static_cast<double>(size_));
 }
 
 std::vector<PacketRecord> TraceFacility::collect() {
@@ -58,6 +61,7 @@ std::vector<PacketRecord> TraceFacility::collect() {
   }
   head_ = 0;
   size_ = 0;
+  obs::set(g_buffered_, 0.0);
   return out;
 }
 

@@ -46,7 +46,9 @@ class TraceFacility {
   /// Drain all records accumulated since the previous collect().
   std::vector<PacketRecord> collect();
 
-  /// Attach telemetry (wren.trace.captured / wren.trace.dropped).
+  /// Attach telemetry (wren.trace.captured / wren.trace.dropped counters
+  /// plus the wren.trace.buffered occupancy gauge, updated on every capture
+  /// and drain so ring occupancy is observable between collect() calls).
   void set_obs(const obs::Scope& scope);
 
   net::NodeId host() const { return host_; }
@@ -71,6 +73,7 @@ class TraceFacility {
   std::uint64_t dropped_ = 0;
   obs::Counter* c_captured_ = nullptr;
   obs::Counter* c_dropped_ = nullptr;
+  obs::Gauge* g_buffered_ = nullptr;
 };
 
 }  // namespace vw::wren

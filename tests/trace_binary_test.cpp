@@ -1,0 +1,581 @@
+// Tests for the vw.trace.v1 binary capture datapath: the SPSC ring, the
+// binary codec (incl. corrupt-input handling), the TraceWriter thread, the
+// capture-session wiring, the corpus operations (merge/filter/match), and
+// the binary -> offline-replay differential.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "net/network.hpp"
+#include "obs/metrics.hpp"
+#include "obs/scope.hpp"
+#include "sim/simulator.hpp"
+#include "transport/sources.hpp"
+#include "transport/stack.hpp"
+#include "util/spsc_ring.hpp"
+#include "wren/capture.hpp"
+#include "wren/offline.hpp"
+#include "wren/trace.hpp"
+#include "wren/trace_binary.hpp"
+#include "wren/trace_writer.hpp"
+
+namespace vw::wren {
+namespace {
+
+std::string temp_path(const char* name) { return ::testing::TempDir() + name; }
+
+PacketRecord sample_record() {
+  PacketRecord r;
+  r.timestamp = millis(123);
+  r.direction = net::TapDirection::kOutgoing;
+  r.flow = net::FlowKey{3, 7, 1000, 2000, net::Protocol::kTcp};
+  r.payload_bytes = 1460;
+  r.wire_bytes = 1500;
+  r.seq = 14600;
+  r.ack = 0;
+  return r;
+}
+
+bool records_equal(const PacketRecord& a, const PacketRecord& b) {
+  return a.timestamp == b.timestamp && a.direction == b.direction && a.flow == b.flow &&
+         a.payload_bytes == b.payload_bytes && a.wire_bytes == b.wire_bytes && a.seq == b.seq &&
+         a.ack == b.ack && a.is_ack == b.is_ack && a.syn == b.syn;
+}
+
+// --- SpscRing ----------------------------------------------------------------
+
+TEST(SpscRingTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscRing<int>(1).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(2).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(3).capacity(), 4u);
+  EXPECT_EQ(SpscRing<int>(1000).capacity(), 1024u);
+}
+
+TEST(SpscRingTest, FifoOrderSingleThread) {
+  SpscRing<int> ring(8);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(ring.try_push(int(i)));
+  EXPECT_FALSE(ring.try_push(99));  // full
+  int v = -1;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(ring.try_pop(v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_FALSE(ring.try_pop(v));  // empty
+}
+
+TEST(SpscRingTest, DropOldestKeepsNewestWindow) {
+  // The producer-side overflow policy: on full, pop-and-discard the oldest,
+  // then push. The ring must end up holding the newest `capacity` values.
+  SpscRing<int> ring(4);
+  int discarded = 0;
+  for (int i = 0; i < 100; ++i) {
+    while (!ring.try_push(int(i))) {
+      int victim;
+      if (ring.try_pop(victim)) ++discarded;
+    }
+  }
+  EXPECT_EQ(discarded, 96);
+  int v = -1;
+  for (int expect = 96; expect < 100; ++expect) {
+    ASSERT_TRUE(ring.try_pop(v));
+    EXPECT_EQ(v, expect);
+  }
+  EXPECT_FALSE(ring.try_pop(v));
+}
+
+TEST(SpscRingTest, WrapsManyGenerations) {
+  SpscRing<std::uint64_t> ring(4);
+  std::uint64_t v = 0;
+  for (std::uint64_t i = 0; i < 10'000; ++i) {
+    ASSERT_TRUE(ring.try_push(std::uint64_t(i)));
+    ASSERT_TRUE(ring.try_pop(v));
+    ASSERT_EQ(v, i);
+  }
+}
+
+// Producer/consumer stress: covered by the TSan CI job. The producer uses
+// the real capture-path overflow loop (drop-oldest), so the pop path is
+// exercised concurrently from both threads — exactly the contention the
+// sequence stamps exist for.
+TEST(SpscRingTest, ConcurrentProducerConsumerStress) {
+  SpscRing<std::uint64_t> ring(64);
+  constexpr std::uint64_t kCount = 200'000;
+  std::atomic<std::uint64_t> dropped{0};
+
+  std::thread consumer([&] {
+    std::uint64_t last = 0;
+    std::uint64_t popped = 0;
+    std::uint64_t v;
+    while (popped + dropped.load(std::memory_order_acquire) < kCount) {
+      if (ring.try_pop(v)) {
+        // Values must come out in increasing order even with drops — the
+        // ring never reorders, it only loses a prefix of the backlog.
+        ASSERT_GE(v + 1, last + 1);
+        last = v + 1;
+        ++popped;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+
+  for (std::uint64_t i = 0; i < kCount; ++i) {
+    while (!ring.try_push(std::uint64_t(i))) {
+      std::uint64_t victim;
+      if (ring.try_pop(victim)) dropped.fetch_add(1, std::memory_order_release);
+    }
+  }
+  consumer.join();
+  std::uint64_t v;
+  while (ring.try_pop(v)) {
+  }  // leftover accounting already settled by the join condition
+}
+
+// --- binary codec ------------------------------------------------------------
+
+TEST(TraceBinaryTest, RecordRoundTrip) {
+  PacketRecord r = sample_record();
+  r.is_ack = true;
+  r.syn = true;
+  r.direction = net::TapDirection::kIncoming;
+  r.ack = 0x1122334455667788ull;
+  const auto buf = encode_record(r);
+  const PacketRecord back = decode_record(buf.data());
+  EXPECT_TRUE(records_equal(r, back));
+  EXPECT_EQ(back.flow.proto, net::Protocol::kTcp);  // the format is TCP-only
+}
+
+TEST(TraceBinaryTest, HeaderRoundTrip) {
+  TraceFileHeader h;
+  h.host = 42;
+  h.shard = 3;
+  h.record_count = 7;
+  h.dropped = 2;
+  const auto buf = encode_header(h);
+  const TraceFileHeader back = decode_header(buf.data());
+  EXPECT_EQ(back.host, 42u);
+  EXPECT_EQ(back.shard, 3u);
+  EXPECT_EQ(back.record_count, 7u);
+  EXPECT_EQ(back.dropped, 2u);
+}
+
+TEST(TraceBinaryTest, FileRoundTrip) {
+  std::vector<PacketRecord> records{sample_record()};
+  PacketRecord second = sample_record();
+  second.timestamp = millis(124);
+  second.seq = 16060;
+  records.push_back(second);
+
+  TraceFileHeader h;
+  h.host = 3;
+  h.shard = 1;
+  h.dropped = 5;
+  std::stringstream ss;
+  write_trace_binary(ss, h, records);
+  EXPECT_EQ(ss.str().size(), kTraceHeaderSize + records.size() * kTraceRecordSize);
+
+  const BinaryTrace back = read_trace_binary(ss);
+  EXPECT_EQ(back.header.host, 3u);
+  EXPECT_EQ(back.header.shard, 1u);
+  EXPECT_EQ(back.header.dropped, 5u);
+  ASSERT_EQ(back.records.size(), 2u);
+  EXPECT_TRUE(records_equal(back.records[0], records[0]));
+  EXPECT_TRUE(records_equal(back.records[1], records[1]));
+}
+
+TEST(TraceBinaryTest, MatchesTextFormatRoundTrip) {
+  // The binary codec and the text archive must agree record-for-record.
+  std::vector<PacketRecord> records;
+  for (int i = 0; i < 50; ++i) {
+    PacketRecord r = sample_record();
+    r.timestamp = millis(100 + i);
+    r.seq = 1460ull * static_cast<std::uint64_t>(i);
+    if (i % 7 == 0) {
+      r.direction = net::TapDirection::kIncoming;
+      r.is_ack = true;
+      r.payload_bytes = 0;
+      r.flow = r.flow.reversed();
+    }
+    records.push_back(r);
+  }
+
+  std::stringstream text;
+  write_trace(text, records);
+  const auto via_text = read_trace(text);
+
+  std::stringstream binary;
+  write_trace_binary(binary, TraceFileHeader{}, records);
+  const auto via_binary = read_trace_binary(binary).records;
+
+  ASSERT_EQ(via_text.size(), via_binary.size());
+  for (std::size_t i = 0; i < via_text.size(); ++i) {
+    EXPECT_TRUE(records_equal(via_text[i], via_binary[i])) << "record " << i;
+  }
+}
+
+void expect_parse_error(const std::string& bytes, const char* needle) {
+  std::stringstream ss(bytes);
+  try {
+    read_trace_binary(ss);
+    FAIL() << "expected parse error mentioning '" << needle << "'";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos) << e.what();
+  }
+}
+
+TEST(TraceBinaryTest, RejectsTruncatedHeader) {
+  expect_parse_error(std::string(10, '\0'), "header");
+}
+
+TEST(TraceBinaryTest, RejectsBadMagic) {
+  std::string bytes(kTraceHeaderSize, '\0');
+  bytes.replace(0, 8, "NOTTRACE");
+  expect_parse_error(bytes, "magic");
+}
+
+TEST(TraceBinaryTest, RejectsFutureVersion) {
+  auto buf = encode_header(TraceFileHeader{});
+  buf[8] = 99;  // version u32 LE at offset 8
+  expect_parse_error(std::string(buf.begin(), buf.end()), "version");
+}
+
+TEST(TraceBinaryTest, RejectsWrongRecordSize) {
+  auto buf = encode_header(TraceFileHeader{});
+  buf[12] = 47;  // record_size u32 LE at offset 12
+  expect_parse_error(std::string(buf.begin(), buf.end()), "record size");
+}
+
+TEST(TraceBinaryTest, RejectsTruncatedRecord) {
+  TraceFileHeader h;
+  std::stringstream ss;
+  write_trace_binary(ss, h, {sample_record()});
+  std::string bytes = ss.str();
+  bytes.resize(bytes.size() - 1);
+  expect_parse_error(bytes, "truncated");
+}
+
+TEST(TraceBinaryTest, RejectsRecordCountMismatch) {
+  std::stringstream ss;
+  write_trace_binary(ss, TraceFileHeader{}, {sample_record(), sample_record()});
+  std::string bytes = ss.str();
+  // Claim 3 records in the header while the body carries 2.
+  bytes[24] = 3;
+  expect_parse_error(bytes, "count");
+}
+
+TEST(TraceBinaryTest, ReadFileReportsMissingPath) {
+  EXPECT_THROW(read_trace_binary_file(temp_path("does-not-exist.vwtrace")),
+               std::runtime_error);
+}
+
+// --- text archive hardening (satellite) --------------------------------------
+
+TEST(TraceArchiveHardeningTest, RejectsTrailingGarbageAfterRecord) {
+  std::stringstream out;
+  write_trace(out, {sample_record()});
+  std::string text = out.str();
+  ASSERT_EQ(text.back(), '\n');
+  text.insert(text.size() - 1, " surplus-token");
+  std::stringstream in(text);
+  EXPECT_THROW(read_trace(in), std::runtime_error);
+}
+
+// --- TraceFacility gauge (satellite) -----------------------------------------
+
+TEST(TraceFacilityGaugeTest, BufferedGaugeTracksRingOccupancy) {
+  sim::Simulator sim;
+  net::Network net(sim);
+  const net::NodeId a = net.add_host("a");
+  const net::NodeId b = net.add_host("b");
+  net::LinkConfig cfg;
+  cfg.bits_per_sec = 100e6;
+  cfg.prop_delay = micros(50);
+  net.add_link(a, b, cfg);
+  net.compute_routes();
+  transport::TransportStack stack(net);
+
+  TraceFacility trace(net, a);
+  obs::MetricsRegistry reg;
+  trace.set_obs(obs::Scope{&reg, nullptr});
+  obs::Gauge& buffered = reg.gauge("wren.trace.buffered");
+
+  std::vector<transport::MessagePhase> phases{
+      {.count = 5, .message_bytes = 50'000, .spacing = millis(10), .pause_after = 0}};
+  transport::MessageSource app(stack, a, b, 9000, phases);
+  app.start();
+  sim.run_until(seconds(2.0));
+
+  EXPECT_GT(trace.buffered(), 0u);
+  EXPECT_EQ(buffered.value(), static_cast<double>(trace.buffered()));
+  const auto records = trace.collect();
+  EXPECT_GT(records.size(), 0u);
+  EXPECT_EQ(buffered.value(), 0.0);  // drained
+}
+
+// --- TraceWriter end-to-end --------------------------------------------------
+
+struct CaptureEnv {
+  sim::Simulator sim;
+  net::Network net{sim};
+  net::NodeId sender, receiver, sw;
+  std::unique_ptr<transport::TransportStack> stack;
+
+  CaptureEnv() {
+    sender = net.add_host("s");
+    receiver = net.add_host("r");
+    sw = net.add_router("sw");
+    net::LinkConfig cfg;
+    cfg.bits_per_sec = 100e6;
+    cfg.prop_delay = micros(50);
+    net.add_link(sender, sw, cfg);
+    net.add_link(sw, receiver, cfg);
+    net.compute_routes();
+    stack = std::make_unique<transport::TransportStack>(net);
+  }
+
+  void run_transfer(double run_s = 3.0) {
+    std::vector<transport::MessagePhase> phases{
+        {.count = 20, .message_bytes = 100'000, .spacing = millis(50), .pause_after = 0}};
+    transport::MessageSource app(*stack, sender, receiver, 9000, phases);
+    app.start();
+    sim.run_until(seconds(run_s));
+  }
+};
+
+TEST(TraceWriterTest, CapturesExactlyWhatTheFacilitySees) {
+  CaptureEnv env;
+  const std::string path = temp_path("writer-e2e.vwtrace");
+  TraceFacility facility(env.net, env.sender, 1 << 20);
+  TraceWriterParams params;
+  params.overflow = TraceWriterParams::Overflow::kBlock;
+  params.shard = 7;
+  TraceWriter writer(env.net, env.sender, path, params);
+
+  obs::MetricsRegistry reg;
+  writer.set_obs(obs::Scope{&reg, nullptr});
+
+  env.run_transfer();
+  writer.finish();
+  EXPECT_TRUE(writer.finished());
+  EXPECT_EQ(writer.records_dropped(), 0u);
+  EXPECT_EQ(writer.records_written(), writer.records_captured());
+
+  const auto expected = facility.collect();
+  const BinaryTrace shard = read_trace_binary_file(path);
+  EXPECT_EQ(shard.header.host, env.sender);
+  EXPECT_EQ(shard.header.shard, 7u);
+  EXPECT_EQ(shard.header.dropped, 0u);
+  EXPECT_EQ(shard.header.record_count, shard.records.size());
+  ASSERT_EQ(shard.records.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_TRUE(records_equal(shard.records[i], expected[i])) << "record " << i;
+  }
+
+  // Telemetry: the writer pipeline accounted every record and byte.
+  const obs::MetricsSnapshot snap = reg.snapshot("wren.trace.writer");
+  ASSERT_EQ(snap.metrics.size(), 5u);
+  EXPECT_EQ(reg.counter("wren.trace.writer.captured").value(), expected.size());
+  EXPECT_EQ(reg.counter("wren.trace.writer.written").value(), expected.size());
+  EXPECT_EQ(reg.counter("wren.trace.writer.dropped").value(), 0u);
+  EXPECT_EQ(reg.counter("wren.trace.writer.bytes").value(),
+            expected.size() * kTraceRecordSize);
+}
+
+TEST(TraceWriterTest, BlockModeIsLosslessEvenWithTinyRing) {
+  CaptureEnv env;
+  const std::string path = temp_path("writer-tiny.vwtrace");
+  TraceFacility facility(env.net, env.sender, 1 << 20);
+  TraceWriterParams params;
+  params.ring_capacity = 4;  // writer thread is forced to lag
+  params.batch = 2;
+  params.overflow = TraceWriterParams::Overflow::kBlock;
+  TraceWriter writer(env.net, env.sender, path, params);
+  env.run_transfer();
+  writer.finish();
+
+  EXPECT_EQ(writer.records_dropped(), 0u);
+  const BinaryTrace shard = read_trace_binary_file(path);
+  EXPECT_EQ(shard.records.size(), facility.collect().size());
+}
+
+TEST(TraceWriterTest, FinishIsIdempotentAndDestructorSafe) {
+  CaptureEnv env;
+  const std::string path = temp_path("writer-idem.vwtrace");
+  {
+    TraceWriter writer(env.net, env.sender, path);
+    env.run_transfer(1.0);
+    writer.finish();
+    writer.finish();  // no-op
+  }                   // destructor runs finish() again
+  EXPECT_NO_THROW(read_trace_binary_file(path));
+}
+
+TEST(TraceWriterTest, ThrowsWhenFileCannotBeCreated) {
+  CaptureEnv env;
+  EXPECT_THROW(TraceWriter(env.net, env.sender, "/nonexistent-dir/x/y.vwtrace"),
+               std::runtime_error);
+}
+
+TEST(CaptureSessionTest, OneShardPerHostMergesTimeOrdered) {
+  CaptureEnv env;
+  const std::string dir = temp_path("capture-session");
+  TraceWriterParams params;
+  params.overflow = TraceWriterParams::Overflow::kBlock;
+  CaptureSession session(env.net, dir, params);
+  session.add_host(env.sender);
+  session.add_host(env.receiver);
+  env.run_transfer();
+  session.finish();
+
+  ASSERT_EQ(session.writers().size(), 2u);
+  EXPECT_GT(session.records_captured(), 0u);
+  EXPECT_EQ(session.records_dropped(), 0u);
+
+  std::vector<std::vector<PacketRecord>> shards;
+  for (const auto& w : session.writers()) {
+    const BinaryTrace t = read_trace_binary_file(w->path());
+    EXPECT_EQ(t.header.host, w->host());
+    shards.push_back(t.records);
+  }
+  EXPECT_EQ(shards[0].size() + shards[1].size(), session.records_captured());
+
+  const auto merged = merge_traces(shards);
+  ASSERT_EQ(merged.size(), session.records_captured());
+  for (std::size_t i = 1; i < merged.size(); ++i) {
+    EXPECT_LE(merged[i - 1].timestamp, merged[i].timestamp);
+  }
+}
+
+// --- corpus operations -------------------------------------------------------
+
+TEST(TraceFilterTest, FieldsComposeAndUnsetMatchesAll) {
+  PacketRecord r = sample_record();  // src 3 -> dst 7, ports 1000 -> 2000
+  EXPECT_TRUE(TraceFilter{}.matches(r));
+
+  TraceFilter f;
+  f.src = 3;
+  f.dst = 7;
+  f.dst_port = 2000;
+  EXPECT_TRUE(f.matches(r));
+  f.src_port = 1001;
+  EXPECT_FALSE(f.matches(r));
+
+  TraceFilter window;
+  window.from = millis(123);
+  window.to = millis(123);
+  EXPECT_TRUE(window.matches(r));  // inclusive on both ends
+  window.to = millis(122);
+  window.from = millis(0);
+  EXPECT_FALSE(window.matches(r));
+
+  TraceFilter useful;
+  useful.useful_only = true;
+  EXPECT_TRUE(useful.matches(r));  // outgoing data
+  PacketRecord in_data = r;
+  in_data.direction = net::TapDirection::kIncoming;
+  EXPECT_FALSE(useful.matches(in_data));
+}
+
+TEST(MatchTracesTest, PairsFramesAndCountsLoss) {
+  // Hand-built two-point capture: three data frames leave A; the second is
+  // lost; the first is retransmitted (same seq/payload) and both copies
+  // arrive — FIFO pairing must map copy 1 -> arrival 1, copy 2 -> arrival 2.
+  const net::FlowKey flow{0, 1, 1000, 2000, net::Protocol::kTcp};
+  auto frame = [&](SimTime t, std::uint64_t seq, net::TapDirection dir) {
+    PacketRecord r;
+    r.timestamp = t;
+    r.direction = dir;
+    r.flow = flow;
+    r.payload_bytes = 1460;
+    r.wire_bytes = 1500;
+    r.seq = seq;
+    return r;
+  };
+  std::vector<PacketRecord> from{
+      frame(millis(1), 0, net::TapDirection::kOutgoing),
+      frame(millis(2), 1460, net::TapDirection::kOutgoing),  // lost
+      frame(millis(3), 0, net::TapDirection::kOutgoing),     // retransmission
+  };
+  std::vector<PacketRecord> to{
+      frame(millis(1) + micros(200), 0, net::TapDirection::kIncoming),
+      frame(millis(3) + micros(300), 0, net::TapDirection::kIncoming),
+  };
+
+  const MatchResult result = match_traces(from, to);
+  ASSERT_EQ(result.matched.size(), 2u);
+  EXPECT_EQ(result.unmatched_from, 1u);
+  EXPECT_EQ(result.unmatched_to, 0u);
+  EXPECT_EQ(result.matched[0].latency(), micros(200));
+  EXPECT_EQ(result.matched[1].latency(), micros(300));
+  EXPECT_EQ(result.min_latency(), micros(200));
+  EXPECT_EQ(result.max_latency(), micros(300));
+  EXPECT_EQ(result.latency_quantile(0.5), micros(200));
+  EXPECT_DOUBLE_EQ(result.mean_latency_ns(), (micros(200) + micros(300)) / 2.0);
+}
+
+TEST(MatchTracesTest, SimulatedTwoPointLatencyRespectsPropagation) {
+  // Capture at both ends of sender -> switch -> receiver (50 us per hop)
+  // and match: every frame's NIC-departure -> NIC-delivery latency must be
+  // at least the two-hop propagation delay plus downstream serialization.
+  CaptureEnv env;
+  const std::string from_path = temp_path("match-from.vwtrace");
+  const std::string to_path = temp_path("match-to.vwtrace");
+  TraceWriterParams params;
+  params.overflow = TraceWriterParams::Overflow::kBlock;
+  TraceWriter at_sender(env.net, env.sender, from_path, params);
+  TraceWriter at_receiver(env.net, env.receiver, to_path, params);
+  env.run_transfer();
+  at_sender.finish();
+  at_receiver.finish();
+
+  const BinaryTrace from = read_trace_binary_file(from_path);
+  const BinaryTrace to = read_trace_binary_file(to_path);
+  const MatchResult result = match_traces(from.records, to.records);
+  ASSERT_GT(result.matched.size(), 100u);
+  EXPECT_EQ(result.unmatched_from, 0u);  // lossless path, every frame arrives
+  // 2 x 50 us propagation + >= 120 ns serialization of the second hop.
+  EXPECT_GE(result.min_latency(), micros(100));
+  EXPECT_LT(result.min_latency(), millis(10));
+  EXPECT_LE(result.min_latency(), result.latency_quantile(0.5));
+  EXPECT_LE(result.latency_quantile(0.5), result.max_latency());
+}
+
+// --- the differential: binary capture replays to identical estimates ---------
+
+TEST(BinaryReplayDifferentialTest, EstimatesBitIdenticalToInProcessAnalysis) {
+  CaptureEnv env;
+  const std::string path = temp_path("differential.vwtrace");
+  TraceFacility facility(env.net, env.sender, 1 << 20);
+  TraceWriterParams params;
+  params.overflow = TraceWriterParams::Overflow::kBlock;
+  TraceWriter writer(env.net, env.sender, path, params);
+
+  std::vector<transport::MessagePhase> phases{
+      {.count = 60, .message_bytes = 200'000, .spacing = millis(100), .pause_after = 0}};
+  transport::MessageSource app(*env.stack, env.sender, env.receiver, 9000, phases);
+  app.start();
+  env.sim.run_until(seconds(7.0));
+  writer.finish();
+
+  const OfflineResult direct = analyze_offline(filter_useful(facility.collect()));
+  const BinaryTrace shard = read_trace_binary_file(path);
+  const OfflineResult replayed = analyze_offline(filter_useful(shard.records));
+
+  ASSERT_GT(direct.observations.size(), 10u);
+  ASSERT_EQ(replayed.observations.size(), direct.observations.size());
+  ASSERT_EQ(replayed.estimates_bps.size(), direct.estimates_bps.size());
+  for (std::size_t i = 0; i < direct.estimates_bps.size(); ++i) {
+    EXPECT_EQ(replayed.estimates_bps[i].first, direct.estimates_bps[i].first);
+    // Bit-identical, not EXPECT_NEAR: same records, same SIC arithmetic.
+    EXPECT_EQ(replayed.estimates_bps[i].second, direct.estimates_bps[i].second);
+  }
+}
+
+}  // namespace
+}  // namespace vw::wren

@@ -8,9 +8,14 @@ counter under each named subsystem prefix has a nonzero value — the CI
 smoke proof that instrumentation is actually wired through the stack, not
 merely registered.
 
+With --require-present, asserts that each exact metric name exists
+regardless of kind or value — used for gauges (e.g. wren.trace.writer.ring)
+and for counters that may legitimately be zero (wren.trace.writer.dropped).
+
 Usage:
     tools/check_metrics.py metrics.json [--trace trace.json]
                            [--require-nonzero wren,transport,vnet]
+                           [--require-present wren.trace.writer.ring,...]
 
 Only the standard library is used. Exit code 0 = all checks passed.
 """
@@ -119,6 +124,14 @@ def check_nonzero_prefixes(by_name: dict, prefixes: list) -> None:
         print(f"  {prefix}: {len(hits)} nonzero counter(s)")
 
 
+def check_present_names(by_name: dict, names: list) -> None:
+    for name in names:
+        m = by_name.get(name)
+        if m is None:
+            fail(f"required metric {name!r} is absent")
+        print(f"  {name}: present ({m['kind']})")
+
+
 def check_trace(doc: dict) -> int:
     events = doc.get("traceEvents")
     if not isinstance(events, list) or not events:
@@ -146,6 +159,11 @@ def main() -> int:
         default="",
         help="comma-separated subsystem prefixes that must each have a nonzero counter",
     )
+    parser.add_argument(
+        "--require-present",
+        default="",
+        help="comma-separated exact metric names that must exist (any kind/value)",
+    )
     args = parser.parse_args()
 
     try:
@@ -156,6 +174,10 @@ def main() -> int:
         prefixes = [p for p in args.require_nonzero.split(",") if p]
         if prefixes:
             check_nonzero_prefixes(by_name, prefixes)
+
+        required = [n for n in args.require_present.split(",") if n]
+        if required:
+            check_present_names(by_name, required)
 
         if args.trace:
             with open(args.trace, encoding="utf-8") as fh:

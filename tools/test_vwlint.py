@@ -92,6 +92,19 @@ def test_r4_good_accepts_smallfn_and_const_ref() -> None:
     check_fixture("R4", "r4_good.hpp", clean=True)
 
 
+def test_r4_scope_covers_capture_datapath_headers() -> None:
+    # The capture datapath runs per packet despite living outside sim/net:
+    # HOT_PATH_EXTRA must pull these headers into R4 scope.
+    for rel in sorted(vwlint.HOT_PATH_EXTRA):
+        path = vwlint.SRC / rel
+        assert path.exists(), f"HOT_PATH_EXTRA names a missing header: {rel}"
+        assert vwlint.make_context(path).hot_path_header, rel
+    # Controls: cold wren headers stay out of scope, exemptions stay exempt.
+    assert not vwlint.make_context(vwlint.SRC / "wren/offline.hpp").hot_path_header
+    assert not vwlint.make_context(vwlint.SRC / "net/fault.hpp").hot_path_header
+    assert vwlint.make_context(vwlint.SRC / "net/packet.hpp").hot_path_header
+
+
 # --- R5 contract coverage ----------------------------------------------------
 
 def r5_context() -> vwlint.FileContext:

@@ -87,6 +87,13 @@ RNG_HOME = {"util/rng.hpp", "util/rng.cpp"}
 # R4 scope: the event-engine / datapath hot path.
 HOT_PATH_DIRS = ("sim", "net")
 HOT_PATH_EXEMPT = {"net/fault.hpp"}  # cold construction-time scripting API
+# Headers outside the hot-path dirs whose code still runs per packet: the
+# capture datapath (tap callback -> lock-free ring -> writer thread).
+HOT_PATH_EXTRA = {
+    "util/spsc_ring.hpp",
+    "wren/trace_writer.hpp",
+    "wren/capture.hpp",
+}
 
 ALL_RULES = ("hygiene", "R1", "R2", "R3", "R4", "R5")
 
@@ -281,10 +288,9 @@ def make_context(path: Path, *, fixture_mode: bool = False) -> FileContext:
         ctx.rel_src = str(path.relative_to(SRC))
         ctx.module = path.relative_to(SRC).parts[0]
         ctx.order_sensitive = ctx.module in ORDER_SENSITIVE_MODULES
-        ctx.hot_path_header = (
-            ctx.is_header
-            and ctx.module in HOT_PATH_DIRS
-            and ctx.rel_src not in HOT_PATH_EXEMPT
+        ctx.hot_path_header = ctx.is_header and (
+            (ctx.module in HOT_PATH_DIRS and ctx.rel_src not in HOT_PATH_EXEMPT)
+            or ctx.rel_src in HOT_PATH_EXTRA
         )
     for m in WAIVER_RE.finditer(raw):
         ctx.waivers.append(
