@@ -1,0 +1,108 @@
+#include "soap/federation.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace vw::soap {
+
+namespace {
+
+std::uint32_t parse_u32(const std::string& s) {
+  std::uint32_t value = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) {
+    throw std::invalid_argument("bad unsigned integer: " + s);
+  }
+  return value;
+}
+
+std::uint32_t attr_u32(const XmlNode& node, const std::string& key) {
+  auto it = node.attributes.find(key);
+  if (it == node.attributes.end()) {
+    std::string what = node.name;
+    what.append(": missing attribute '").append(key).append("'");
+    throw std::invalid_argument(what);
+  }
+  return parse_u32(it->second);
+}
+
+}  // namespace
+
+FederationService::FederationService(RpcRegistry& registry, std::string endpoint)
+    : registry_(registry), endpoint_(std::move(endpoint)) {
+  registry_.register_method(endpoint_, "Subscribe",
+                            [this](const XmlNode& r) { return handle_subscribe(r); });
+  registry_.register_method(endpoint_, "ExportSummary",
+                            [this](const XmlNode& r) { return handle_export(r); });
+  registry_.register_method(endpoint_, "RequestMeasurement",
+                            [this](const XmlNode& r) { return handle_request(r); });
+}
+
+FederationService::~FederationService() { registry_.unregister_endpoint(endpoint_); }
+
+XmlNode FederationService::handle_subscribe(const XmlNode& request) {
+  const std::uint32_t region = attr_u32(request, "region");
+  const std::string subscriber = request.child_text("subscriber");
+  if (subscriber.empty()) {
+    throw std::invalid_argument("Subscribe: missing subscriber endpoint");
+  }
+  const bool accepted = subscribe_ ? subscribe_(region, subscriber) : true;
+  if (accepted) subscribers_[region] = subscriber;
+  XmlNode resp;
+  resp.name = "SubscribeResponse";
+  resp.attributes["accepted"] = std::string(1, accepted ? '1' : '0');
+  return resp;
+}
+
+XmlNode FederationService::handle_export(const XmlNode& request) {
+  const std::uint32_t region = attr_u32(request, "region");
+  const std::string payload = request.child_text("summary");
+  if (payload.empty()) throw std::invalid_argument("ExportSummary: missing summary payload");
+  ++exports_received_;
+  if (export_) export_(region, payload);
+  XmlNode resp;
+  resp.name = "ExportSummaryResponse";
+  return resp;
+}
+
+XmlNode FederationService::handle_request(const XmlNode& request) {
+  const std::uint32_t from = attr_u32(request, "from");
+  const std::uint32_t to = attr_u32(request, "to");
+  ++requests_received_;
+  const bool started = request_ ? request_(from, to) : false;
+  XmlNode resp;
+  resp.name = "RequestMeasurementResponse";
+  resp.attributes["started"] = std::string(1, started ? '1' : '0');
+  return resp;
+}
+
+FederationClient::FederationClient(const RpcRegistry& registry, std::string endpoint)
+    : registry_(registry), endpoint_(std::move(endpoint)) {}
+
+bool FederationClient::subscribe(std::uint32_t region, const std::string& subscriber) const {
+  XmlNode request;
+  request.name = "Subscribe";
+  request.attributes["region"] = std::to_string(region);
+  request.add_text_child("subscriber", subscriber);
+  const XmlNode resp = registry_.call(endpoint_, "Subscribe", request);
+  return resp.attributes.at("accepted") == "1";
+}
+
+void FederationClient::export_summary(std::uint32_t region, const std::string& summary_hex) const {
+  XmlNode request;
+  request.name = "ExportSummary";
+  request.attributes["region"] = std::to_string(region);
+  request.add_text_child("summary", summary_hex);
+  registry_.call(endpoint_, "ExportSummary", request);
+}
+
+bool FederationClient::request_measurement(std::uint32_t from, std::uint32_t to) const {
+  XmlNode request;
+  request.name = "RequestMeasurement";
+  request.attributes["from"] = std::to_string(from);
+  request.attributes["to"] = std::to_string(to);
+  const XmlNode resp = registry_.call(endpoint_, "RequestMeasurement", request);
+  return resp.attributes.at("started") == "1";
+}
+
+}  // namespace vw::soap

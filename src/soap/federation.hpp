@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "soap/rpc.hpp"
+
+// The federation SOAP surface (DESIGN.md §5i) — the control channel between
+// the measurement-plane tiers:
+//
+//   Subscribe(region, subscriber)   -> regional proxy announces itself to
+//                                      the root (region id + the endpoint
+//                                      demand hints should be pushed to)
+//   ExportSummary(region, payload)  -> one hex-armored vw.fedsum.v1 summary
+//                                      shipped upward
+//   RequestMeasurement(from, to)    -> SONoMA-style on-demand session: the
+//                                      planner asks the plane to measure a
+//                                      cold pair; returns whether a session
+//                                      was actually started
+//
+// The payloads are deliberately opaque here: soap stays a transport layer
+// (it cannot depend on wren, which sits above it), so summaries cross as
+// hex strings and hosts as raw u32 ids. wren::summary_from_hex() and
+// net::NodeId give them meaning at the endpoints.
+
+namespace vw::soap {
+
+class FederationService {
+ public:
+  /// Returns whether the subscription was accepted.
+  using SubscribeFn = std::function<bool(std::uint32_t region, const std::string& subscriber)>;
+  /// Receives one hex-armored vw.fedsum.v1 summary.
+  using ExportFn = std::function<void(std::uint32_t region, const std::string& summary_hex)>;
+  /// Returns whether a measurement session was started for (from, to).
+  using RequestFn = std::function<bool(std::uint32_t from, std::uint32_t to)>;
+
+  FederationService(RpcRegistry& registry, std::string endpoint);
+  ~FederationService();
+
+  FederationService(const FederationService&) = delete;
+  FederationService& operator=(const FederationService&) = delete;
+
+  const std::string& endpoint() const { return endpoint_; }
+
+  void set_subscribe_fn(SubscribeFn fn) { subscribe_ = std::move(fn); }
+  void set_export_fn(ExportFn fn) { export_ = std::move(fn); }
+  void set_request_fn(RequestFn fn) { request_ = std::move(fn); }
+
+  /// region -> subscriber endpoint, as announced via Subscribe.
+  const std::map<std::uint32_t, std::string>& subscribers() const { return subscribers_; }
+
+  std::uint64_t exports_received() const { return exports_received_; }
+  std::uint64_t requests_received() const { return requests_received_; }
+
+ private:
+  XmlNode handle_subscribe(const XmlNode& request);
+  XmlNode handle_export(const XmlNode& request);
+  XmlNode handle_request(const XmlNode& request);
+
+  RpcRegistry& registry_;
+  std::string endpoint_;
+  SubscribeFn subscribe_;
+  ExportFn export_;
+  RequestFn request_;
+  std::map<std::uint32_t, std::string> subscribers_;
+  std::uint64_t exports_received_ = 0;
+  std::uint64_t requests_received_ = 0;
+};
+
+/// Client-side wrapper (what a regional proxy or the planner holds).
+class FederationClient {
+ public:
+  FederationClient(const RpcRegistry& registry, std::string endpoint);
+
+  bool subscribe(std::uint32_t region, const std::string& subscriber) const;
+  void export_summary(std::uint32_t region, const std::string& summary_hex) const;
+  bool request_measurement(std::uint32_t from, std::uint32_t to) const;
+
+ private:
+  const RpcRegistry& registry_;
+  std::string endpoint_;
+};
+
+}  // namespace vw::soap

@@ -41,20 +41,17 @@ soap::XmlNode encode_heartbeat(net::NodeId reporter) {
 }
 
 soap::XmlNode encode_wren_report(net::NodeId reporter, const wren::OnlineAnalyzer& analyzer) {
-  soap::XmlNode msg;
-  msg.name = "WrenReport";
-  msg.attributes["reporter"] = std::to_string(reporter);
+  // Shared codec (wren/federation.hpp): the flat Proxy and the regional
+  // tier parse the exact same document.
+  std::vector<wren::PathReading> readings;
   for (net::NodeId peer : analyzer.peers()) {
-    soap::XmlNode& p = msg.add_child("peer");
-    p.attributes["id"] = std::to_string(peer);
-    if (auto bw = analyzer.available_bandwidth_bps(peer)) {
-      p.attributes["bw"] = fmt_double(*bw);
-    }
-    if (auto lat = analyzer.latency_seconds(peer)) {
-      p.attributes["lat"] = fmt_double(*lat);
-    }
+    wren::PathReading r;
+    r.peer = peer;
+    r.bandwidth_bps = analyzer.available_bandwidth_bps(peer);
+    r.latency_s = analyzer.latency_seconds(peer);
+    if (r.bandwidth_bps || r.latency_s) readings.push_back(r);
   }
-  return msg;
+  return wren::encode_wren_report_xml(reporter, readings);
 }
 
 }  // namespace
@@ -90,6 +87,7 @@ VirtuosoSystem::VirtuosoSystem(sim::Simulator& sim, net::Network& network, Syste
     overlay_.set_obs(s);
     global_vttif_->set_obs(s);
     migration_.set_obs(s);
+    view_.set_obs(s);
     // Every SA / multistart run launched through this system reports into
     // the same registry.
     config_.annealing.obs = s;
@@ -162,19 +160,21 @@ void VirtuosoSystem::bootstrap(vnet::LinkProtocol proto) {
     global_vttif_->update_from(reporter, m);
   });
   control_->register_handler("WrenReport", [this](const soap::XmlNode& msg) {
-    const auto reporter = static_cast<net::NodeId>(parse_u64(msg.attributes.at("reporter")));
+    std::vector<wren::PathReading> readings;
+    const net::NodeId reporter = wren::parse_wren_report_xml(msg, readings);
     note_report(reporter);
-    for (const soap::XmlNode& p : msg.children) {
-      if (p.name != "peer") continue;
-      const auto peer = static_cast<net::NodeId>(parse_u64(p.attributes.at("id")));
-      if (auto it = p.attributes.find("bw"); it != p.attributes.end()) {
-        view_.update_bandwidth(reporter, peer, std::stod(it->second), sim_.now());
-      }
-      if (auto it = p.attributes.find("lat"); it != p.attributes.end()) {
-        view_.update_latency(reporter, peer, std::stod(it->second), sim_.now());
-      }
+    const SimTime now = sim_.now();
+    for (const wren::PathReading& r : readings) {
+      if (r.bandwidth_bps) view_.update_bandwidth(reporter, r.peer, *r.bandwidth_bps, now);
+      if (r.latency_s) view_.update_latency(reporter, r.peer, *r.latency_s, now);
     }
   });
+  // A resend-window eviction that lost unacknowledged state is healed with a
+  // full make-up report rather than silently leaving a hole.
+  control_->set_on_window_gap(
+      [this](net::NodeId host) { schedule_full_re_report(host, /*regional_tier=*/false); });
+
+  if (config_.federation.enabled) bootstrap_federation();
 
   for (auto& [host, rt] : runtimes_) start_reporting(host);
 
@@ -201,27 +201,39 @@ void VirtuosoSystem::start_reporting(net::NodeId host) {
   // "VTTIF executes nonblocking calls to Wren to collect updates on
   // available bandwidth and latency from the local host to other VNET
   // hosts", then ships them to the Proxy which maintains the global view.
+  // Under federation the report stream is redirected to the host's
+  // regional proxy instead (report_plane()).
   DaemonRuntime& rt = runtimes_.at(host);
   rt.reporter = std::make_unique<sim::PeriodicTask>(
-      sim_, config_.wren_report_period, [this, host] {
-        DaemonRuntime& r = runtimes_.at(host);
-        // The nonblocking SOAP calls against the local Wren service...
-        if (r.client->peers().empty()) return;
-        // ...and the report shipped to the Proxy over the control plane.
-        obs::add(c_wren_reports_);
-        control_->send(host, encode_wren_report(host, *r.analyzer));
-      });
+      sim_, config_.wren_report_period, [this, host] { send_wren_report(host); });
   // Heartbeats prove the daemon alive even when it has nothing to report
   // (VTTIF pushes skip empty matrices, Wren reports skip peerless hosts).
   if (config_.control_heartbeat_period > 0) {
     rt.heartbeat = std::make_unique<sim::PeriodicTask>(
         sim_, config_.control_heartbeat_period,
-        [this, host] { control_->send(host, encode_heartbeat(host)); });
+        [this, host] { report_plane(host).send(host, encode_heartbeat(host)); });
   }
 }
 
+void VirtuosoSystem::send_wren_report(net::NodeId host) {
+  auto it = runtimes_.find(host);
+  if (it == runtimes_.end() || !it->second.reporter) return;  // daemon gone
+  // The nonblocking SOAP calls against the local Wren service...
+  if (it->second.client->peers().empty()) return;
+  // ...and the report shipped upstream over the control plane.
+  obs::add(c_wren_reports_);
+  report_plane(host).send(host, encode_wren_report(host, *it->second.analyzer));
+}
+
 void VirtuosoSystem::note_report(net::NodeId reporter) {
-  last_report_[reporter] = sim_.now();
+  note_report_at(reporter, sim_.now());
+}
+
+void VirtuosoSystem::note_report_at(net::NodeId reporter, SimTime at) {
+  // Liveness evidence may arrive out of order (e.g. HostSeen records ride a
+  // delayed summary); only ever move the timestamp forward.
+  SimTime& last = last_report_[reporter];
+  last = std::max(last, at);
 }
 
 void VirtuosoSystem::liveness_tick() {
@@ -250,6 +262,238 @@ void VirtuosoSystem::liveness_tick() {
       }
     }
   }
+}
+
+void VirtuosoSystem::refresh_view_before_planning() {
+  // Order matters: declare timed-out daemons dead (invalidating their view
+  // entries) and physically drop expired measurements first, so the
+  // adjacency snapshot capacity_graph() takes next reflects the sweep
+  // instead of racing it.
+  if (config_.daemon_timeout > 0 && bootstrapped_) liveness_tick();
+  view_.expire_stale();
+  if (federation_ != nullptr) {
+    for (FederationRegion& reg : federation_->regions) reg.proxy->view().expire_stale();
+  }
+}
+
+// --- federation --------------------------------------------------------------
+
+const wren::RegionMap* VirtuosoSystem::region_map() const {
+  return federation_ ? &federation_->region_map : nullptr;
+}
+
+wren::FederationRoot* VirtuosoSystem::federation_root() {
+  return federation_ ? federation_->root.get() : nullptr;
+}
+
+wren::RegionalProxy* VirtuosoSystem::regional_proxy(wren::RegionId region) {
+  if (!federation_) return nullptr;
+  for (FederationRegion& reg : federation_->regions) {
+    if (reg.id == region) return reg.proxy.get();
+  }
+  return nullptr;
+}
+
+vnet::ControlPlane* VirtuosoSystem::regional_control(wren::RegionId region) {
+  if (!federation_) return nullptr;
+  for (FederationRegion& reg : federation_->regions) {
+    if (reg.id == region) return reg.control.get();
+  }
+  return nullptr;
+}
+
+wren::MeasurementScheduler* VirtuosoSystem::measurement_scheduler() {
+  return federation_ ? federation_->scheduler.get() : nullptr;
+}
+
+vnet::ControlPlane& VirtuosoSystem::report_plane(net::NodeId host) {
+  if (federation_ != nullptr) {
+    const wren::RegionId r = federation_->region_map.region_of(host);
+    for (FederationRegion& reg : federation_->regions) {
+      if (reg.id == r) return *reg.control;
+    }
+  }
+  return *control_;
+}
+
+wren::RegionalProxy* VirtuosoSystem::regional_proxy_for(net::NodeId host) {
+  if (!federation_) return nullptr;
+  return regional_proxy(federation_->region_map.region_of(host));
+}
+
+void VirtuosoSystem::bootstrap_federation() {
+  const wren::FederationConfig& fc = config_.federation;
+  const std::vector<net::NodeId> hosts = overlay_.daemon_hosts();
+  VW_REQUIRE(fc.regions >= 1, "federation: need at least one region");
+  VW_REQUIRE(fc.regions <= hosts.size(), "federation: ", fc.regions, " regions but only ",
+             hosts.size(), " daemon hosts");
+
+  auto fed = std::make_unique<FederationRuntime>();
+  fed->region_map = wren::RegionMap::round_robin(hosts, fc.regions);
+  for (net::NodeId host : hosts) {
+    overlay_.daemon_on(host).set_region(fed->region_map.region_of(host));
+  }
+
+  fed->root = std::make_unique<wren::FederationRoot>(view_, fed->region_map);
+  // Liveness evidence rides the summaries: a HostSeen record proves the
+  // daemon was alive at its ORIGINAL timestamp (the same preserved-clock
+  // contract the view entries follow).
+  fed->root->set_host_seen_fn(
+      [this](net::NodeId host, SimTime at) { note_report_at(host, at); });
+  if (config_.telemetry) fed->root->set_obs(scope());
+
+  fed->scheduler = std::make_unique<wren::MeasurementScheduler>(fc.scheduler);
+  fed->scheduler->set_request_fn(
+      [this](net::NodeId from, net::NodeId to) { start_probe(from, to); });
+  if (config_.telemetry) fed->scheduler->set_obs(scope());
+
+  // The SOAP control surface for the plane.
+  fed->service = std::make_unique<soap::FederationService>(registry_, kFederationEndpoint);
+  fed->service->set_export_fn([this](std::uint32_t, const std::string& hex) {
+    federation_->root->apply_summary(wren::summary_from_hex(hex), sim_.now());
+  });
+  fed->service->set_request_fn([this](std::uint32_t from, std::uint32_t to) {
+    if (!config_.federation.on_demand) return false;
+    return federation_->scheduler->request_cold_pairs(view_, {{from, to}}, sim_.now()) > 0;
+  });
+
+  // Summaries arrive at the root over the regular control plane, so their
+  // traffic crosses the simulated network and is measurable against the
+  // per-daemon reports they replace.
+  control_->register_handler("FederationSummary", [this](const soap::XmlNode& msg) {
+    if (!federation_) return;
+    note_report(static_cast<net::NodeId>(parse_u64(msg.attributes.at("reporter"))));
+    federation_->root->apply_summary(wren::summary_from_hex(msg.child_text("summary")),
+                                     sim_.now());
+  });
+
+  for (wren::RegionId r = 0; r < static_cast<wren::RegionId>(fc.regions); ++r) {
+    std::vector<net::NodeId> region_hosts = fed->region_map.hosts_in(r);
+    if (region_hosts.empty()) continue;
+    FederationRegion reg;
+    reg.id = r;
+    reg.proxy_host = region_hosts.front();
+    reg.control = std::make_unique<vnet::ControlPlane>(stack_, reg.proxy_host,
+                                                       fc.regional_port, config_.control);
+    if (config_.telemetry) reg.control->set_obs(scope());
+    wren::RegionalProxyParams params;
+    params.summary_max_pairs = fc.summary_max_pairs;
+    params.staleness_horizon = config_.view_staleness_horizon;
+    reg.proxy = std::make_unique<wren::RegionalProxy>(r, fed->region_map, params);
+    reg.proxy->set_clock([this] { return sim_.now(); });
+    if (config_.telemetry) reg.proxy->set_obs(scope());
+
+    wren::RegionalProxy* proxy = reg.proxy.get();
+    reg.control->register_handler("Heartbeat", [this, proxy](const soap::XmlNode& msg) {
+      proxy->note_host(static_cast<net::NodeId>(parse_u64(msg.attributes.at("reporter"))),
+                       sim_.now());
+    });
+    reg.control->register_handler("WrenReport", [this, proxy](const soap::XmlNode& msg) {
+      std::vector<wren::PathReading> readings;
+      const net::NodeId reporter = wren::parse_wren_report_xml(msg, readings);
+      proxy->apply_report(reporter, readings, sim_.now());
+    });
+    reg.control->set_on_window_gap(
+        [this](net::NodeId host) { schedule_full_re_report(host, /*regional_tier=*/true); });
+
+    const std::size_t index = fed->regions.size();
+    reg.exporter = std::make_unique<sim::PeriodicTask>(
+        sim_, fc.export_period,
+        [this, index] { export_summary(index, /*force_full=*/false); });
+    fed->regions.push_back(std::move(reg));
+  }
+
+  federation_ = std::move(fed);
+
+  // Each regional proxy announces itself through the SOAP surface.
+  const soap::FederationClient client(registry_, kFederationEndpoint);
+  for (const FederationRegion& reg : federation_->regions) {
+    client.subscribe(reg.id, "vnet://" + std::to_string(reg.proxy_host) + ":" +
+                                 std::to_string(fc.regional_port));
+  }
+}
+
+void VirtuosoSystem::export_summary(std::size_t region_index, bool force_full) {
+  FederationRegion& reg = federation_->regions.at(region_index);
+  const wren::FederationSummary summary = reg.proxy->build_summary(sim_.now(), force_full);
+  soap::XmlNode msg;
+  msg.name = "FederationSummary";
+  msg.attributes["reporter"] = std::to_string(reg.proxy_host);
+  msg.attributes["region"] = std::to_string(reg.id);
+  msg.add_text_child("summary", wren::summary_to_hex(summary));
+  // Even an empty summary ships: it advances the sequence number (gap
+  // detection) and doubles as the regional proxy's liveness signal.
+  control_->send(reg.proxy_host, msg);
+}
+
+void VirtuosoSystem::schedule_full_re_report(net::NodeId host, bool regional_tier) {
+  if (!rereport_pending_.insert(host).second) return;  // one in flight is enough
+  // Deferred a beat so the gap callback never re-enters ControlPlane::send,
+  // and bounded to one make-up report per health-check period per host even
+  // while an outage keeps evicting.
+  const SimTime delay = std::max<SimTime>(millis(1), config_.control.health_check_period);
+  sim_.schedule_in(delay, [this, host, regional_tier] {
+    rereport_pending_.erase(host);
+    if (!regional_tier && federation_ != nullptr) {
+      for (std::size_t i = 0; i < federation_->regions.size(); ++i) {
+        if (federation_->regions[i].proxy_host == host) {
+          // The lost message was (or may have been) a summary: re-export
+          // with sampling bypassed so every held entry reaches the root.
+          export_summary(i, /*force_full=*/true);
+          return;
+        }
+      }
+    }
+    send_wren_report(host);
+  });
+}
+
+void VirtuosoSystem::prepare_federation_for_plan(const std::vector<vadapt::Demand>& demands) {
+  // Demand push-down: tell each regional proxy which of its pairs carry VM
+  // traffic, so top-k sampling keeps the pairs the next plan will price.
+  for (FederationRegion& reg : federation_->regions) reg.proxy->clear_demand_weights();
+  std::vector<std::pair<net::NodeId, net::NodeId>> hot;
+  for (const vadapt::Demand& d : demands) {
+    if (d.src >= vms_.size() || d.dst >= vms_.size()) continue;
+    if (!vms_[d.src]->attached() || !vms_[d.dst]->attached()) continue;
+    const net::NodeId from = vms_[d.src]->host();
+    const net::NodeId to = vms_[d.dst]->host();
+    if (from == to) continue;
+    hot.push_back({from, to});
+    if (wren::RegionalProxy* proxy = regional_proxy_for(from)) {
+      proxy->set_demand_weight(from, to, d.rate_bps);
+    }
+  }
+  // SONoMA-style on-demand sessions for the hot pairs the root holds no
+  // fresh measurement for.
+  if (config_.federation.on_demand) {
+    federation_->scheduler->request_cold_pairs(view_, hot, sim_.now());
+  }
+}
+
+void VirtuosoSystem::start_probe(net::NodeId from, net::NodeId to) {
+  const std::uint64_t id = next_probe_id_++;
+  if (next_probe_port_ < 30000) next_probe_port_ = 30000;  // wrapped
+  const std::uint16_t port = next_probe_port_++;
+  auto prober =
+      std::make_unique<wren::ActiveProber>(stack_, from, to, port, config_.probe);
+  wren::ActiveProber* p = prober.get();
+  probes_.emplace(id, std::move(prober));
+  p->start([this, id, from, to](double estimate_bps) {
+    const SimTime now = sim_.now();
+    // The session result enters the plane exactly like a daemon report:
+    // into the measuring host's regional view (so it rides future
+    // summaries) and into the root view (so the pending plan sees it).
+    if (wren::RegionalProxy* proxy = regional_proxy_for(from)) {
+      proxy->note_host(from, now);
+      proxy->view().update_bandwidth(from, to, estimate_bps, now);
+    }
+    view_.update_bandwidth(from, to, estimate_bps, now);
+    if (federation_) federation_->scheduler->on_result(from, to);
+    // The prober cannot be destroyed from inside its own completion
+    // callback; erase it on the next event.
+    sim_.schedule_at(now, [this, id] { probes_.erase(id); });
+  });
 }
 
 void VirtuosoSystem::kill_daemon(net::NodeId host) {
@@ -292,11 +536,27 @@ vadapt::CapacityGraph VirtuosoSystem::capacity_graph() const {
   // stopped answering.
   std::vector<net::NodeId> hosts = live_daemon_hosts();
   vadapt::CapacityGraph graph(hosts, config_.default_bandwidth_bps, 0.001);
+  const wren::FederationRoot* fed_root = federation_ ? federation_->root.get() : nullptr;
   for (std::size_t i = 0; i < hosts.size(); ++i) {
     for (std::size_t j = 0; j < hosts.size(); ++j) {
       if (i == j) continue;
-      if (auto bw = view_.bandwidth_bps(hosts[i], hosts[j])) graph.set_bandwidth(i, j, *bw);
-      if (auto lat = view_.latency_seconds(hosts[i], hosts[j])) graph.set_latency(i, j, *lat);
+      if (auto bw = view_.bandwidth_bps(hosts[i], hosts[j])) {
+        graph.set_bandwidth(i, j, *bw);
+      } else if (fed_root != nullptr) {
+        // No exact entry at the root (suppressed by top-k sampling): the
+        // region-to-region aggregate is a better prior than the global
+        // default capacity.
+        if (auto abw = fed_root->aggregate_bandwidth(hosts[i], hosts[j])) {
+          graph.set_bandwidth(i, j, *abw);
+        }
+      }
+      if (auto lat = view_.latency_seconds(hosts[i], hosts[j])) {
+        graph.set_latency(i, j, *lat);
+      } else if (fed_root != nullptr) {
+        if (auto alat = fed_root->aggregate_latency(hosts[i], hosts[j])) {
+          graph.set_latency(i, j, *alat);
+        }
+      }
     }
   }
   return graph;
@@ -339,8 +599,13 @@ AdaptationOutcome VirtuosoSystem::adapt_now(AdaptationAlgorithm algorithm) {
   adapt_span.arg("algorithm", algorithm_name(algorithm));
   obs::add(c_adaptations_);
 
-  const vadapt::CapacityGraph graph = capacity_graph();
+  // Snapshot-ordering contract: sweep liveness and expire stale entries
+  // BEFORE the adjacency snapshot below, so the plan can never optimize
+  // over measurements a concurrent sweep was about to invalidate.
+  refresh_view_before_planning();
   const std::vector<vadapt::Demand> demands = current_demands();
+  if (federation_ != nullptr) prepare_federation_for_plan(demands);
+  const vadapt::CapacityGraph graph = capacity_graph();
   const std::size_t n_vms = vms_.size();
 
   vadapt::Configuration conf;

@@ -14,6 +14,7 @@
 #include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 #include "util/log.hpp"
+#include "soap/federation.hpp"
 #include "soap/rpc.hpp"
 #include "soap/telemetry.hpp"
 #include "transport/stack.hpp"
@@ -28,8 +29,10 @@
 #include "vnet/overlay.hpp"
 #include "vttif/global.hpp"
 #include "vttif/local.hpp"
+#include "wren/active.hpp"
 #include "wren/analyzer.hpp"
 #include "wren/capture.hpp"
+#include "wren/federation.hpp"
 #include "wren/service.hpp"
 #include "wren/view.hpp"
 
@@ -100,6 +103,14 @@ struct SystemConfig {
   std::string capture_dir;
   /// Capture datapath tuning (ring size, batch, overflow policy).
   wren::TraceWriterParams capture;
+  /// The federated measurement plane (DESIGN.md §5i). When enabled,
+  /// bootstrap() splits the daemons into regions, stands up a RegionalProxy
+  /// tier (daemon Wren reports + heartbeats are redirected to the region's
+  /// control plane), and feeds the root view from summarized exports
+  /// instead of raw per-daemon reports.
+  wren::FederationConfig federation;
+  /// Active-probe tuning for on-demand measurement sessions.
+  wren::ActiveProbeParams probe;
 };
 
 struct AdaptationOutcome {
@@ -183,9 +194,34 @@ class VirtuosoSystem {
   /// headers). Idempotent; also runs at destruction. No-op without capture.
   void finish_capture();
 
+  // --- federation ---------------------------------------------------------------
+  /// Whether the federated measurement plane is live (bootstrap() ran with
+  /// SystemConfig::federation.enabled).
+  bool federation_enabled() const { return federation_ != nullptr; }
+  /// Host -> region assignment; null when federation is off.
+  const wren::RegionMap* region_map() const;
+  /// The root-tier summary sink; null when federation is off.
+  wren::FederationRoot* federation_root();
+  /// The regional proxy serving `region`; null when absent / federation off.
+  wren::RegionalProxy* regional_proxy(wren::RegionId region);
+  /// The control plane daemons of `region` report into; null when absent.
+  vnet::ControlPlane* regional_control(wren::RegionId region);
+  /// The on-demand measurement scheduler; null when federation is off.
+  wren::MeasurementScheduler* measurement_scheduler();
+  /// The federation SOAP endpoint (Subscribe / ExportSummary /
+  /// RequestMeasurement), registered during a federated bootstrap().
+  static constexpr const char* kFederationEndpoint = "federation://proxy";
+
+  /// Run the liveness sweep and drop expired view entries NOW, so the next
+  /// capacity_graph() snapshot cannot be built over adjacency that predates
+  /// invalidate_host()/expire_stale(). adapt_now() calls this first — the
+  /// snapshot-ordering contract tests/chaos_test.cpp pins.
+  void refresh_view_before_planning();
+
   // --- adaptation inputs -------------------------------------------------------
   /// The capacity graph VADAPT sees: daemon hosts, bandwidth/latency from
-  /// the Proxy's Wren view (unmeasured pairs get default_bandwidth_bps).
+  /// the Proxy's Wren view (unmeasured pairs fall back to the federation's
+  /// region-to-region aggregates, then to default_bandwidth_bps).
   vadapt::CapacityGraph capacity_graph() const;
 
   /// Demands from the current VTTIF topology (VM indices, bits/sec).
@@ -230,12 +266,48 @@ class VirtuosoSystem {
     std::unique_ptr<sim::PeriodicTask> heartbeat;
   };
 
+  /// One region of the federated plane: its proxy host, the control plane
+  /// its daemons report into, the partial view, and the export task.
+  struct FederationRegion {
+    wren::RegionId id = wren::kInvalidRegion;
+    net::NodeId proxy_host = net::kInvalidNode;
+    std::unique_ptr<vnet::ControlPlane> control;
+    std::unique_ptr<wren::RegionalProxy> proxy;
+    std::unique_ptr<sim::PeriodicTask> exporter;
+  };
+
+  struct FederationRuntime {
+    wren::RegionMap region_map;
+    std::unique_ptr<wren::FederationRoot> root;
+    std::unique_ptr<soap::FederationService> service;
+    std::unique_ptr<wren::MeasurementScheduler> scheduler;
+    std::vector<FederationRegion> regions;
+  };
+
   void start_reporting(net::NodeId host);
   std::optional<vadapt::VmIndex> vm_index_for_mac(vnet::MacAddress mac) const;
   void note_report(net::NodeId reporter);
+  void note_report_at(net::NodeId reporter, SimTime at);
   void liveness_tick();
   void on_migration_failed(net::NodeId source, net::NodeId target);
   void try_failure_replan();
+  void bootstrap_federation();
+  /// The control plane `host`'s Wren reports and heartbeats ride: its
+  /// region's plane when federated, the root plane otherwise.
+  vnet::ControlPlane& report_plane(net::NodeId host);
+  wren::RegionalProxy* regional_proxy_for(net::NodeId host);
+  /// Ship one full Wren report for `host` right now (window-gap healing).
+  void send_wren_report(net::NodeId host);
+  void export_summary(std::size_t region_index, bool force_full);
+  /// A resend-window eviction lost unacknowledged state for `host`:
+  /// schedule the make-up report (full summary for a regional proxy host on
+  /// the root tier, full Wren report otherwise). Deferred + deduplicated so
+  /// the control plane's gap callback never re-enters send().
+  void schedule_full_re_report(net::NodeId host, bool regional_tier);
+  /// Demand push-down + on-demand cold-pair sessions for the pairs the
+  /// planner is about to optimize over.
+  void prepare_federation_for_plan(const std::vector<vadapt::Demand>& demands);
+  void start_probe(net::NodeId from, net::NodeId to);
 
   sim::Simulator& sim_;
   net::Network& network_;
@@ -270,6 +342,11 @@ class VirtuosoSystem {
   std::uint64_t failure_replans_ = 0;
   std::uint64_t daemons_declared_dead_ = 0;
   std::unique_ptr<soap::TelemetryService> telemetry_;
+  std::unique_ptr<FederationRuntime> federation_;
+  std::map<std::uint64_t, std::unique_ptr<wren::ActiveProber>> probes_;
+  std::uint64_t next_probe_id_ = 0;
+  std::uint16_t next_probe_port_ = 30000;
+  std::set<net::NodeId> rereport_pending_;
   /// Lazily created on the first multi-start adaptation, then reused by
   /// every subsequent one — the control loop adapts repeatedly, and thread
   /// spawn/join per adaptation was pure overhead. Workers are parked

@@ -45,6 +45,12 @@ void ControlPlane::set_obs(const obs::Scope& scope) {
   c_reconnect_attempts_ = scope.counter("vnet.control.reconnect_attempts");
   c_resends_ = scope.counter("vnet.control.resends");
   c_drops_ = scope.counter("vnet.control.drops");
+  c_window_gaps_ = scope.counter("vnet.control.window_gaps");
+}
+
+std::uint64_t ControlPlane::delivered_bytes(const std::string& root_name) const {
+  auto it = delivered_bytes_by_type_.find(root_name);
+  return it == delivered_bytes_by_type_.end() ? 0 : it->second;
 }
 
 void ControlPlane::register_handler(const std::string& root_name, HandlerFn handler) {
@@ -70,6 +76,7 @@ void ControlPlane::dispatch(const std::string& doc) {
   }
   ++delivered_;
   obs::add(c_delivered_);
+  delivered_bytes_by_type_[message.name] += doc.size();
   it->second(message);
 }
 
@@ -99,8 +106,18 @@ void ControlPlane::send(net::NodeId host, const soap::XmlNode& message) {
     return;
   }
   ClientState& state = clients_[host];
+  bool gap = false;
   if (state.window.size() >= params_.resend_window) {
-    // Oldest report gives way; the newer snapshots supersede it.
+    // Oldest report gives way. If it was already acknowledged this is pure
+    // housekeeping; if not, its state never reached the Proxy and the
+    // replay window will never contain it again — a permanent hole unless
+    // the owner schedules a full re-report.
+    const OutboundMessage& victim = state.window.front();
+    if (victim.end_offset == 0 || victim.end_offset > state.last_acked) {
+      gap = true;
+      ++window_gaps_;
+      obs::add(c_window_gaps_);
+    }
     state.window.pop_front();
     ++drops_;
     obs::add(c_drops_);
@@ -110,16 +127,19 @@ void ControlPlane::send(net::NodeId host, const soap::XmlNode& message) {
     // Detected between health ticks (e.g. the handshake gave up): recycle
     // now so the fresh message rides the reconnect.
     fail_connection(host, state);
+    if (gap && window_gap_fn_) window_gap_fn_(host);
     return;
   }
   if (state.conn == nullptr) {
     // First use, or a failed connection waiting out its backoff.
     if (!state.reconnect_timer.valid()) attempt_connect(host);
+    if (gap && window_gap_fn_) window_gap_fn_(host);
     return;
   }
   // TcpConnection buffers until established, so sending while the handshake
   // is still in flight is fine.
   transmit(state, state.window.back());
+  if (gap && window_gap_fn_) window_gap_fn_(host);
 }
 
 void ControlPlane::attempt_connect(net::NodeId host) {

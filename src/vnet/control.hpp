@@ -28,7 +28,13 @@
 // Reports are idempotent state snapshots, so the resulting at-least-once
 // delivery (a report whose bytes landed but whose ACK died in the outage is
 // replayed) is safe; when the window overflows, the oldest report is
-// dropped and counted — newer state supersedes it anyway.
+// dropped and counted. Dropping a report that was already ACKed is harmless
+// (newer state supersedes it), but evicting one that never reached the
+// Proxy is a *delivery hole*: after the outage the daemon replays a window
+// whose oldest surviving entry is newer than the Proxy's last-applied
+// state, and the lost snapshot is never re-sent. Such evictions are counted
+// separately (window_gaps) and surfaced through a callback so the daemon
+// can schedule a full re-report that heals the hole.
 
 namespace vw::vnet {
 
@@ -45,6 +51,11 @@ struct ControlPlaneParams {
 class ControlPlane {
  public:
   using HandlerFn = std::function<void(const soap::XmlNode& message)>;
+  /// Invoked when an *unacknowledged* message is evicted from `host`'s
+  /// resend window (a delivery hole the replay cannot heal). Called after
+  /// the triggering send() completes its own bookkeeping; the callback must
+  /// not call send() synchronously — schedule the make-up report instead.
+  using WindowGapFn = std::function<void(net::NodeId host)>;
 
   /// Listens for daemon control connections on (proxy_host, port).
   ControlPlane(transport::TransportStack& stack, net::NodeId proxy_host,
@@ -64,8 +75,15 @@ class ControlPlane {
   /// network.
   void send(net::NodeId host, const soap::XmlNode& message);
 
+  /// Proxy side: observe delivery holes (full re-report scheduling).
+  void set_on_window_gap(WindowGapFn fn) { window_gap_fn_ = std::move(fn); }
+
   /// Messages dispatched to a registered handler.
   std::uint64_t messages_delivered() const { return delivered_; }
+  /// Serialized bytes of delivered messages whose root element was
+  /// `root_name` (per-stream traffic accounting, e.g. the federation
+  /// bench's summary-vs-report ratio).
+  std::uint64_t delivered_bytes(const std::string& root_name) const;
   /// Messages that parsed but matched no handler (silently ignored types).
   std::uint64_t messages_unhandled() const { return unhandled_; }
   std::uint64_t parse_failures() const { return parse_failures_; }
@@ -83,6 +101,9 @@ class ControlPlane {
   std::uint64_t messages_resent() const { return resends_; }
   /// Messages evicted from a full resend window (lost to the outage).
   std::uint64_t messages_dropped() const { return drops_; }
+  /// The subset of evictions that were never acknowledged — permanent
+  /// delivery holes unless a full re-report follows.
+  std::uint64_t window_gaps() const { return window_gaps_; }
   /// Whether `host`'s control connection is currently established.
   bool connection_healthy(net::NodeId host) const;
 
@@ -124,6 +145,8 @@ class ControlPlane {
   std::map<std::string, HandlerFn> handlers_;
   std::map<net::NodeId, ClientState> clients_;
   std::unique_ptr<sim::PeriodicTask> health_task_;
+  WindowGapFn window_gap_fn_;
+  std::map<std::string, std::uint64_t> delivered_bytes_by_type_;
   std::uint64_t delivered_ = 0;
   std::uint64_t unhandled_ = 0;
   std::uint64_t parse_failures_ = 0;
@@ -133,6 +156,7 @@ class ControlPlane {
   std::uint64_t reconnect_attempts_ = 0;
   std::uint64_t resends_ = 0;
   std::uint64_t drops_ = 0;
+  std::uint64_t window_gaps_ = 0;
   obs::Counter* c_delivered_ = nullptr;
   obs::Counter* c_unhandled_ = nullptr;
   obs::Counter* c_parse_failures_ = nullptr;
@@ -141,6 +165,7 @@ class ControlPlane {
   obs::Counter* c_reconnect_attempts_ = nullptr;
   obs::Counter* c_resends_ = nullptr;
   obs::Counter* c_drops_ = nullptr;
+  obs::Counter* c_window_gaps_ = nullptr;
 };
 
 }  // namespace vw::vnet

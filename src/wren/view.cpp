@@ -1,21 +1,45 @@
 #include "wren/view.hpp"
 
+#include <cmath>
+
+#include "util/check.hpp"
+
 namespace vw::wren {
 
-void GlobalNetworkView::update_bandwidth(net::NodeId from, net::NodeId to, double bps,
+bool GlobalNetworkView::valid_measurement(double v) { return std::isfinite(v) && v >= 0; }
+
+bool GlobalNetworkView::update_bandwidth(net::NodeId from, net::NodeId to, double bps,
                                          SimTime at) {
+  VW_REQUIRE(at >= 0, "measurement timestamp must be non-negative");
+  if (!valid_measurement(bps)) {
+    ++rejected_reports_;
+    obs::add(c_rejected_);
+    return false;
+  }
   PathMeasurement& m = entries_[{from, to}];
   m.bandwidth_bps = bps;
   m.has_bandwidth = true;
   m.updated_at = at;
+  return true;
 }
 
-void GlobalNetworkView::update_latency(net::NodeId from, net::NodeId to, double seconds,
+bool GlobalNetworkView::update_latency(net::NodeId from, net::NodeId to, double seconds,
                                        SimTime at) {
+  VW_REQUIRE(at >= 0, "measurement timestamp must be non-negative");
+  if (!valid_measurement(seconds)) {
+    ++rejected_reports_;
+    obs::add(c_rejected_);
+    return false;
+  }
   PathMeasurement& m = entries_[{from, to}];
   m.latency_s = seconds;
   m.has_latency = true;
   m.updated_at = at;
+  return true;
+}
+
+void GlobalNetworkView::set_obs(const obs::Scope& scope) {
+  c_rejected_ = scope.counter("wren.view.rejected_reports");
 }
 
 bool GlobalNetworkView::is_fresh(const PathMeasurement& m) const {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "net/packet.hpp"
+#include "obs/scope.hpp"
 #include "util/time.hpp"
 
 // The "bird's eye view of the physical network": pairwise available
@@ -28,14 +29,28 @@ struct PathMeasurement {
   SimTime updated_at = 0;
   bool has_bandwidth = false;
   bool has_latency = false;
+
+  bool operator==(const PathMeasurement&) const = default;
 };
 
 class GlobalNetworkView {
  public:
-  /// Merge a bandwidth report for the directed pair (from, to).
-  void update_bandwidth(net::NodeId from, net::NodeId to, double bps, SimTime at);
-  /// Merge a latency report for the directed pair (from, to).
-  void update_latency(net::NodeId from, net::NodeId to, double seconds, SimTime at);
+  /// Merge a bandwidth report for the directed pair (from, to). Reports
+  /// arrive off the network, so a poisoned value (NaN, Inf, negative —
+  /// which would corrupt every VADAPT widest-path compare downstream) is
+  /// rejected and counted rather than trusted: returns false and leaves the
+  /// view untouched. The timestamp, by contrast, is caller-provided state
+  /// and is VW_REQUIREd sane.
+  bool update_bandwidth(net::NodeId from, net::NodeId to, double bps, SimTime at);
+  /// Merge a latency report for the directed pair (from, to); same
+  /// validation contract as update_bandwidth.
+  bool update_latency(net::NodeId from, net::NodeId to, double seconds, SimTime at);
+
+  /// The validation predicate both updates apply: finite and non-negative.
+  static bool valid_measurement(double v);
+
+  /// Reports rejected by the validation path since construction.
+  std::uint64_t rejected_reports() const { return rejected_reports_; }
 
   std::optional<double> bandwidth_bps(net::NodeId from, net::NodeId to) const;
   std::optional<double> latency_seconds(net::NodeId from, net::NodeId to) const;
@@ -74,12 +89,23 @@ class GlobalNetworkView {
 
   /// Physically remove entries older than the horizon; returns how many
   /// were dropped. Queries already exclude them — this just bounds memory.
+  ///
+  /// NOTE: this mutates entries_, so any snapshot a caller took earlier
+  /// (measured_pairs(), bandwidth_adjacency(), a CapacityGraph built from
+  /// them) no longer reflects the view. Planners must re-snapshot after a
+  /// sweep — VirtuosoSystem::adapt_now() refreshes liveness + expiry before
+  /// building its capacity graph for exactly this reason.
   std::size_t expire_stale();
+
+  /// Attach telemetry (wren.view.rejected_reports counter).
+  void set_obs(const obs::Scope& scope);
 
  private:
   std::map<std::pair<net::NodeId, net::NodeId>, PathMeasurement> entries_;
   SimTime staleness_horizon_ = 0;
   std::function<SimTime()> clock_;
+  std::uint64_t rejected_reports_ = 0;
+  obs::Counter* c_rejected_ = nullptr;
 };
 
 }  // namespace vw::wren

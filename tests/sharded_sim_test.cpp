@@ -298,8 +298,12 @@ TEST(ShardedNetworkTest, StarDeliveriesMatchSerialOracle) {
 // the stop-the-world global-event path. The run must reproduce the serial
 // engine's golden signature (tests/golden/chaos_signature_seed*.txt,
 // recorded as the machine string below) bit-for-bit at every shard count.
+// Re-recorded when the replan path gained the pre-plan liveness/staleness
+// refresh (VirtuosoSystem::refresh_view_before_planning): the fresher view
+// legitimately changes the migration trajectory (fewer, different moves),
+// identically at every shard count.
 
-constexpr const char* kGoldenChaosSignature = "7,6,5,2,4,1,3,12,3,6,158,843,3";
+constexpr const char* kGoldenChaosSignature = "6,7,5,2,4,1,3,8,3,6,158,843,3";
 
 std::string run_chaos_scenario_sharded(std::uint64_t seed, std::size_t shards) {
   std::optional<ThreadPool> pool;

@@ -393,5 +393,87 @@ TEST(VirtuosoTest, TelemetryDisabledLeavesNoRegistry) {
   EXPECT_EQ(got, 10'000u);
 }
 
+// --- the federated measurement plane (DESIGN.md §5i) -------------------------
+
+// End-to-end over the tiered plane: daemons report into per-region control
+// planes, regional proxies export vw.fedsum.v1 summaries over the root
+// control plane (crossing the simulated network), and the root view is fed
+// exclusively by those summaries — while heartbeats on the regional tier
+// keep the Proxy's liveness belief intact and adaptation still runs.
+TEST(VirtuosoFederationTest, TieredPlaneFeedsRootViewThroughSummaries) {
+  sim::Simulator sim;
+  topo::ChallengeNetwork tb = topo::make_challenge_network(sim);
+
+  SystemConfig config;
+  config.federation.enabled = true;
+  config.federation.regions = 2;
+  config.federation.export_period = millis(500);
+  config.federation.summary_max_pairs = 8;
+  config.control_heartbeat_period = seconds(1.0);
+  config.daemon_timeout = seconds(5.0);
+  config.view_staleness_horizon = seconds(10.0);
+  config.default_bandwidth_bps = 10e6;
+  VirtuosoSystem sys(sim, *tb.network, config);
+
+  bool first = true;
+  for (net::NodeId h : tb.hosts()) {
+    sys.add_daemon(h, tb.network->node(h).name, first);
+    first = false;
+  }
+  sys.bootstrap(vnet::LinkProtocol::kTcp);
+
+  ASSERT_TRUE(sys.federation_enabled());
+  ASSERT_NE(sys.region_map(), nullptr);
+  EXPECT_EQ(sys.region_map()->region_count(), 2u);
+  ASSERT_NE(sys.regional_proxy(0), nullptr);
+  ASSERT_NE(sys.regional_proxy(1), nullptr);
+  ASSERT_NE(sys.regional_control(0), nullptr);
+  ASSERT_NE(sys.federation_root(), nullptr);
+  ASSERT_NE(sys.measurement_scheduler(), nullptr);
+
+  // TCP overlay traffic gives Wren something to measure on the daemons.
+  vm::VirtualMachine& a = sys.create_vm("vm-a", tb.domain2_hosts[1], 8ull << 20);
+  vm::VirtualMachine& b = sys.create_vm("vm-b", tb.domain2_hosts[2], 8ull << 20);
+  vm::apps::DemandMatrix demands;
+  demands[{0, 1}] = 30e6;
+  demands[{1, 0}] = 30e6;
+  vm::apps::MatrixTrafficApp app(sim, {&a, &b}, demands, millis(100));
+  app.start();
+  sim.run_until(seconds(15.0));
+  app.stop();
+
+  // Summaries crossed the root control plane as real traffic.
+  wren::FederationRoot& root = *sys.federation_root();
+  EXPECT_GT(root.summaries_applied(), 0u);
+  EXPECT_GT(sys.control_plane().delivered_bytes("FederationSummary"), 0u);
+  EXPECT_EQ(root.seq_gaps(), 0u);  // no outage: every summary arrived in order
+
+  // The regional tier measured, and the exports populated the root view.
+  const std::size_t regional_pairs = sys.regional_proxy(0)->view().entries().size() +
+                                     sys.regional_proxy(1)->view().entries().size();
+  EXPECT_GT(regional_pairs, 0u);
+  EXPECT_FALSE(sys.network_view().entries().empty());
+  // Cross-tier TTL contract: root timestamps are regional measurement
+  // times, never later than "now".
+  for (const auto& [pair, m] : sys.network_view().entries()) {
+    EXPECT_LE(m.updated_at, sim.now());
+  }
+
+  // Liveness rides the regional tier: nobody was falsely declared dead.
+  for (net::NodeId h : tb.hosts()) EXPECT_TRUE(sys.daemon_alive(h));
+  EXPECT_EQ(sys.daemons_declared_dead(), 0u);
+
+  // Telemetry: the federation tier registered and moved its instruments.
+  ASSERT_NE(sys.metrics(), nullptr);
+  EXPECT_GT(sys.metrics()->counter("wren.federation.summaries").value(), 0u);
+  EXPECT_GT(sys.metrics()->counter("wren.federation.region.summaries").value(), 0u);
+
+  // Adaptation still works end to end on the federated view.
+  const AdaptationOutcome outcome = sys.adapt_now(AdaptationAlgorithm::kGreedy);
+  EXPECT_EQ(outcome.hosts.size(), tb.hosts().size());
+  sim.run_until(seconds(60.0));  // let migrations complete
+  for (const auto& vm : sys.vms()) EXPECT_TRUE(vm->attached());
+}
+
 }  // namespace
 }  // namespace vw::virtuoso

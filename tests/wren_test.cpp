@@ -5,12 +5,16 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <string>
+
 #include "net/network.hpp"
 #include "net/probe.hpp"
 #include "sim/simulator.hpp"
 #include "soap/rpc.hpp"
 #include "transport/sources.hpp"
 #include "transport/stack.hpp"
+#include "util/check.hpp"
 #include "wren/analyzer.hpp"
 #include "wren/service.hpp"
 #include "wren/sic.hpp"
@@ -496,6 +500,61 @@ TEST(GlobalViewTest, AdjacencyListOnlyMeasuredPairs) {
   ASSERT_EQ(adj.size(), 1u);
   EXPECT_EQ(std::get<0>(adj[0]), 0u);
   EXPECT_EQ(std::get<1>(adj[0]), 1u);
+}
+
+// Reports arrive off the network: a NaN bandwidth would poison every VADAPT
+// widest-path compare downstream (NaN compares false against everything),
+// so the view must reject rather than trust poisoned values.
+TEST(GlobalViewTest, RejectsNonFiniteAndNegativeMeasurements) {
+  GlobalNetworkView view;
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+
+  EXPECT_FALSE(view.update_bandwidth(1, 2, nan, seconds(1.0)));
+  EXPECT_FALSE(view.update_bandwidth(1, 2, inf, seconds(1.0)));
+  EXPECT_FALSE(view.update_bandwidth(1, 2, -inf, seconds(1.0)));
+  EXPECT_FALSE(view.update_bandwidth(1, 2, -1.0, seconds(1.0)));
+  EXPECT_FALSE(view.update_latency(1, 2, nan, seconds(1.0)));
+  EXPECT_FALSE(view.update_latency(1, 2, -0.5, seconds(1.0)));
+
+  // Nothing landed; every rejection was counted.
+  EXPECT_TRUE(view.entries().empty());
+  EXPECT_EQ(view.rejected_reports(), 6u);
+
+  // A rejected update leaves an existing good entry untouched.
+  EXPECT_TRUE(view.update_bandwidth(1, 2, 40e6, seconds(2.0)));
+  EXPECT_FALSE(view.update_bandwidth(1, 2, nan, seconds(3.0)));
+  EXPECT_DOUBLE_EQ(*view.bandwidth_bps(1, 2), 40e6);
+  EXPECT_EQ(view.entries().at({1, 2}).updated_at, seconds(2.0));
+
+  // Zero is a legitimate measurement (a dead-idle or blocked path).
+  EXPECT_TRUE(view.update_bandwidth(3, 4, 0.0, seconds(1.0)));
+  EXPECT_TRUE(view.update_latency(3, 4, 0.0, seconds(1.0)));
+
+  EXPECT_TRUE(GlobalNetworkView::valid_measurement(0.0));
+  EXPECT_TRUE(GlobalNetworkView::valid_measurement(1e12));
+  EXPECT_FALSE(GlobalNetworkView::valid_measurement(nan));
+  EXPECT_FALSE(GlobalNetworkView::valid_measurement(inf));
+  EXPECT_FALSE(GlobalNetworkView::valid_measurement(-1e-9));
+}
+
+TEST(GlobalViewTest, RejectedReportsFeedTheObsCounter) {
+  obs::MetricsRegistry metrics;
+  GlobalNetworkView view;
+  view.set_obs(obs::Scope{&metrics, nullptr});
+  view.update_bandwidth(1, 2, std::numeric_limits<double>::quiet_NaN(), 0);
+  view.update_latency(1, 2, -1.0, 0);
+  EXPECT_EQ(metrics.counter("wren.view.rejected_reports").value(), 2u);
+}
+
+TEST(GlobalViewTest, NegativeTimestampTripsTheContract) {
+  GlobalNetworkView view;
+  try {
+    view.update_bandwidth(1, 2, 1e6, -1);
+    FAIL() << "negative timestamp must trip VW_REQUIRE";
+  } catch (const contracts::ContractError& err) {
+    EXPECT_NE(std::string(err.what()).find("timestamp"), std::string::npos);
+  }
 }
 
 }  // namespace

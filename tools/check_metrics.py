@@ -11,6 +11,8 @@ merely registered.
 With --require-present, asserts that each exact metric name exists
 regardless of kind or value — used for gauges (e.g. wren.trace.writer.ring)
 and for counters that may legitimately be zero (wren.trace.writer.dropped).
+A name ending in ".*" is a prefix glob: at least one metric under that
+prefix must exist (e.g. wren.federation.* for the whole federation tier).
 
 Usage:
     tools/check_metrics.py metrics.json [--trace trace.json]
@@ -126,6 +128,15 @@ def check_nonzero_prefixes(by_name: dict, prefixes: list) -> None:
 
 def check_present_names(by_name: dict, names: list) -> None:
     for name in names:
+        if name.endswith(".*"):
+            prefix = name[:-2]
+            hits = [
+                n for n in by_name if n == prefix or n.startswith(prefix + ".")
+            ]
+            if not hits:
+                fail(f"no metric under required prefix {prefix!r}")
+            print(f"  {name}: {len(hits)} metric(s) present")
+            continue
         m = by_name.get(name)
         if m is None:
             fail(f"required metric {name!r} is absent")
