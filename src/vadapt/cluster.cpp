@@ -1,0 +1,128 @@
+#include "vadapt/cluster.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/check.hpp"
+
+namespace vw::vadapt {
+
+namespace {
+
+/// Live community state during agglomeration. Communities are identified by
+/// their smallest original VM index; `edges` holds total inter-community
+/// weight keyed by peer id (ordered, so scans are deterministic).
+struct Community {
+  bool alive = false;
+  std::size_t size = 0;
+  double degree = 0;  ///< total incident weight (2x internal + external)
+  std::map<std::uint32_t, double> edges;
+};
+
+}  // namespace
+
+ClusterAssignment cluster_vms_by_traffic(const std::vector<Demand>& demands, std::size_t n_vms,
+                                         const ClusterParams& params) {
+  ClusterAssignment out;
+  out.cluster_of.assign(n_vms, 0);
+  if (n_vms == 0) return out;
+
+  // Undirected VM traffic graph: w{a,b} = sum of demand rates either way.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, double> weight;
+  double total_weight = 0;  // W = sum of undirected edge weights
+  for (const Demand& d : demands) {
+    VW_REQUIRE(d.src < n_vms && d.dst < n_vms, "cluster_vms_by_traffic: demand endpoint ",
+               d.src, "->", d.dst, " out of range (n_vms=", n_vms, ")");
+    if (d.src == d.dst || d.rate_bps <= 0) continue;
+    const auto a = static_cast<std::uint32_t>(std::min(d.src, d.dst));
+    const auto b = static_cast<std::uint32_t>(std::max(d.src, d.dst));
+    weight[{a, b}] += d.rate_bps;
+    total_weight += d.rate_bps;
+  }
+
+  std::vector<Community> comm(n_vms);
+  for (std::size_t v = 0; v < n_vms; ++v) {
+    comm[v].alive = true;
+    comm[v].size = 1;
+  }
+  for (const auto& [pair, w] : weight) {
+    comm[pair.first].edges[pair.second] += w;
+    comm[pair.second].edges[pair.first] += w;
+    comm[pair.first].degree += w;
+    comm[pair.second].degree += w;
+  }
+
+  // Greedy modularity agglomeration. Gain of merging communities i and j:
+  //   dQ = 2 * (e_ij / (2W) - (deg_i / 2W) * (deg_j / 2W))
+  // Merge the best positive-gain pair each round until none remains.
+  if (total_weight > 0) {
+    const double two_w = 2.0 * total_weight;
+    for (;;) {
+      double best_gain = 0;
+      std::uint32_t best_i = 0, best_j = 0;
+      bool found = false;
+      for (std::uint32_t i = 0; i < n_vms; ++i) {
+        if (!comm[i].alive) continue;
+        for (const auto& [j, w] : comm[i].edges) {
+          if (j <= i) continue;  // scan each undirected pair once, ascending
+          if (params.max_cluster_size > 0 &&
+              comm[i].size + comm[j].size > params.max_cluster_size) {
+            continue;
+          }
+          const double gain =
+              2.0 * (w / two_w - (comm[i].degree / two_w) * (comm[j].degree / two_w));
+          if (gain > best_gain) {  // strict > keeps the smallest tied pair
+            best_gain = gain;
+            best_i = i;
+            best_j = j;
+            found = true;
+          }
+        }
+      }
+      if (!found) break;
+
+      // Merge j into i (i < j by the scan order).
+      Community& ci = comm[best_i];
+      Community& cj = comm[best_j];
+      ci.size += cj.size;
+      ci.degree += cj.degree;
+      ci.edges.erase(best_j);
+      for (const auto& [k, w] : cj.edges) {
+        if (k == best_i) continue;
+        ci.edges[k] += w;
+        comm[k].edges.erase(best_j);
+        comm[k].edges[best_i] += w;
+      }
+      cj.alive = false;
+      cj.edges.clear();
+      // Record membership lazily via union-find-style parent chain.
+      out.cluster_of[best_j] = best_i;
+    }
+  }
+
+  // Resolve each VM's root community (path-compressed walk over the
+  // "merged into" links stored in cluster_of during agglomeration).
+  std::vector<std::uint32_t> root(n_vms);
+  for (std::uint32_t v = 0; v < n_vms; ++v) {
+    std::uint32_t r = v;
+    while (!comm[r].alive) r = out.cluster_of[r];
+    root[v] = r;
+  }
+
+  // Renumber roots densely, ordered by smallest member (== root id, since
+  // merges always fold the larger id into the smaller).
+  std::vector<std::int32_t> dense(n_vms, -1);
+  for (std::uint32_t v = 0; v < n_vms; ++v) {
+    const std::uint32_t r = root[v];
+    if (dense[r] < 0) {
+      dense[r] = static_cast<std::int32_t>(out.clusters.size());
+      out.clusters.emplace_back();
+    }
+    out.cluster_of[v] = static_cast<std::uint32_t>(dense[r]);
+    out.clusters[static_cast<std::size_t>(dense[r])].push_back(v);
+  }
+  VW_ENSURE(!out.clusters.empty(), "cluster_vms_by_traffic: no clusters for ", n_vms, " VMs");
+  return out;
+}
+
+}  // namespace vw::vadapt

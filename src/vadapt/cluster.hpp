@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "vadapt/problem.hpp"
+
+// VTTIF traffic-matrix community detection for hierarchical warm-start
+// decomposition: VMs that talk to each other a lot should be re-placed and
+// re-routed together, VMs in different communities interact only through
+// inter-cluster demands. Greedy modularity agglomeration (CNM-style): start
+// from singleton communities and repeatedly take the merge with the largest
+// positive modularity gain, subject to a cluster-size cap that keeps each
+// intra-cluster subproblem small enough for a short SA burst.
+//
+// Deterministic by construction: candidate merges are scanned in ascending
+// (cluster, cluster) order and ties broken toward the lexicographically
+// smallest pair, so the same demand matrix always yields the same clusters.
+
+namespace vw::vadapt {
+
+struct ClusterParams {
+  /// Stop merging into clusters larger than this (0 disables the cap).
+  std::size_t max_cluster_size = 64;
+};
+
+struct ClusterAssignment {
+  /// cluster_of[vm] -> cluster index (dense, 0-based).
+  std::vector<std::uint32_t> cluster_of;
+  /// Members of each cluster, ascending; clusters ordered by smallest member.
+  std::vector<std::vector<VmIndex>> clusters;
+
+  std::size_t size() const { return clusters.size(); }
+};
+
+/// Cluster `n_vms` VMs by the (undirected) traffic matrix implied by
+/// `demands`. VMs with no traffic end up as singletons.
+ClusterAssignment cluster_vms_by_traffic(const std::vector<Demand>& demands, std::size_t n_vms,
+                                         const ClusterParams& params = {});
+
+}  // namespace vw::vadapt

@@ -102,10 +102,14 @@ std::vector<Path> greedy_paths_impl(const CapacityGraph& graph,
       for (std::size_t i = 0; i + 1 < path->size(); ++i) {
         const HostIndex u = (*path)[i];
         const HostIndex v = (*path)[i + 1];
+        const double before = residual[u][v];
         residual[u][v] -= d.rate_bps;
         view.update(u, v, residual[u][v]);
+        // Scoped invalidation: only trees actually routing through u -> v
+        // are stale; the rest answer later queries bit-identically to a
+        // fresh recompute (decrease rule, see WidestPathCache).
+        cache.invalidate_edge(u, v, before, residual[u][v]);
       }
-      cache.invalidate();  // capacities changed; memoized trees are stale
     }
     paths[idx] = std::move(*path);
   }

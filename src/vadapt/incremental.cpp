@@ -17,6 +17,7 @@ IncrementalEvaluator::IncrementalEvaluator(const CapacityGraph& graph,
       users_(n_ * n_),
       bottleneck_(demands_.size(), 0.0),
       path_latency_(demands_.size(), 0.0),
+      contrib_(demands_.size(), 0.0),
       affected_stamp_(demands_.size(), 0) {
   // Prime the residual matrix with the (fixed) capacity matrix once. The
   // invariant from here on: an edge with no users always holds its raw
@@ -77,9 +78,18 @@ void IncrementalEvaluator::rescore_demand(std::size_t d) {
   if (p.size() < 2) bottleneck = 0;  // degenerate (mirrors evaluate)
   bottleneck_[d] = bottleneck;
   path_latency_[d] = latency;
+  double contrib = bottleneck;
+  if (objective_.kind == ObjectiveKind::kResidualBandwidthLatency && latency > 0) {
+    contrib += objective_.latency_weight / latency;
+  }
+  if (deferred_) eval_.cost += contrib - contrib_[d];
+  contrib_[d] = contrib;
 }
 
 void IncrementalEvaluator::refresh_evaluation() {
+  // Deferred mode: eval_.cost is kept current by rescore_demand's O(1)
+  // contribution patches; the canonical resum waits for exact_refresh().
+  if (deferred_) return;
   // Same accumulation order as evaluate(): cost += bottleneck, then the
   // latency reward, demand by demand.
   eval_.min_residual_bps = std::numeric_limits<double>::infinity();
@@ -97,6 +107,21 @@ void IncrementalEvaluator::refresh_evaluation() {
     eval_.min_residual_bps = 0;
     eval_.feasible = true;
   }
+}
+
+void IncrementalEvaluator::set_deferred_cost(bool on) {
+  if (deferred_ == on) return;
+  deferred_ = on;
+  // Entering: eval_.cost is exact (the invariant outside deferred mode) and
+  // becomes the baseline the contribution deltas patch. Leaving: resum.
+  if (!on) refresh_evaluation();
+}
+
+void IncrementalEvaluator::exact_refresh() {
+  const bool was = deferred_;
+  deferred_ = false;
+  refresh_evaluation();
+  deferred_ = was;
 }
 
 void IncrementalEvaluator::mark_affected(std::uint32_t d) {
@@ -138,6 +163,33 @@ void IncrementalEvaluator::set_path(std::size_t d, const Path& path) {
     for (std::uint32_t id : users) mark_affected(id);
   }
 
+  for (std::uint32_t id : affected_) rescore_demand(id);
+  refresh_evaluation();
+}
+
+void IncrementalEvaluator::refresh_edge(HostIndex u, HostIndex v) {
+  VW_REQUIRE(u < n_ && v < n_, "IncrementalEvaluator::refresh_edge: vertex out of range");
+  recompute_edge(u, v);
+  ++stamp_;
+  affected_.clear();
+  for (std::uint32_t id : users_[u * n_ + v]) mark_affected(id);
+  for (std::uint32_t id : affected_) rescore_demand(id);
+  refresh_evaluation();
+}
+
+void IncrementalEvaluator::set_demand_rate(std::size_t d, double rate_bps) {
+  VW_REQUIRE(d < demands_.size(), "IncrementalEvaluator::set_demand_rate: demand ", d,
+             " out of range (", demands_.size(), ")");
+  if (demands_[d].rate_bps == rate_bps) return;
+  demands_[d].rate_bps = rate_bps;
+  ++stamp_;
+  affected_.clear();
+  mark_affected(static_cast<std::uint32_t>(d));
+  const Path& p = conf_.paths[d];
+  for (std::size_t i = 0; i + 1 < p.size(); ++i) {
+    recompute_edge(p[i], p[i + 1]);
+    for (std::uint32_t id : users_[p[i] * n_ + p[i + 1]]) mark_affected(id);
+  }
   for (std::uint32_t id : affected_) rescore_demand(id);
   refresh_evaluation();
 }

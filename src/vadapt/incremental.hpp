@@ -53,6 +53,39 @@ class IncrementalEvaluator {
   /// Bottleneck of demand d's current path (0 for degenerate paths).
   double bottleneck(std::size_t d) const { return bottleneck_[d]; }
 
+  /// Demands whose current path crosses edge (u, v), ascending by id.
+  const std::vector<std::uint32_t>& edge_users(HostIndex u, HostIndex v) const {
+    return users_[u * n_ + v];
+  }
+
+  /// The underlying graph's capacity for edge (u, v) changed externally
+  /// (warm-start delta patching): recompute the edge residual from the new
+  /// capacity and rescore the demands routed over it. O(users + their path
+  /// lengths + D). The graph object itself must already hold the new value.
+  void refresh_edge(HostIndex u, HostIndex v);
+
+  /// Demand d's rate changed externally (VTTIF drift): update the stored
+  /// rate and rescore every edge on d's path plus the demands sharing those
+  /// edges. O(path length * users + D).
+  void set_demand_rate(std::size_t d, double rate_bps);
+
+  /// Deferred-cost mode (warm-start bursts). While enabled, mutations keep
+  /// evaluation().cost current by adding per-demand contribution deltas
+  /// instead of the canonical O(D) resum — a set_path drops from
+  /// O(paths + D) to O(paths) — but min_residual_bps/feasible go stale and
+  /// the incrementally maintained cost can drift from the canonical sum by
+  /// float rounding. Callers must finish an episode with exact_refresh()
+  /// (or set_deferred_cost(false)) before exposing the evaluation; the cold
+  /// annealer never enables this, so its per-iteration bit-exactness
+  /// contract is untouched.
+  void set_deferred_cost(bool on);
+  bool deferred_cost() const { return deferred_; }
+
+  /// The canonical O(D) resum (constructor/reset accumulation order):
+  /// restores the bit-exactness contract after deferred-mode mutations.
+  /// Keeps the current mode.
+  void exact_refresh();
+
  private:
   void recompute_edge(HostIndex u, HostIndex v);
   void rescore_demand(std::size_t d);
@@ -71,6 +104,10 @@ class IncrementalEvaluator {
   std::vector<std::vector<std::uint32_t>> users_;
   std::vector<double> bottleneck_;    ///< per demand
   std::vector<double> path_latency_;  ///< per demand
+  /// Per-demand cost contribution (bottleneck + latency reward), maintained
+  /// by rescore_demand so deferred mode can patch eval_.cost in O(1).
+  std::vector<double> contrib_;
+  bool deferred_ = false;
 
   // Scratch for set_path: epoch-stamped dedup of affected demands.
   std::vector<std::uint32_t> affected_;

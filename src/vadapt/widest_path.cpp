@@ -86,6 +86,56 @@ void WidestPathCache::invalidate() {
   for (auto& tree : trees_) tree.reset();
 }
 
+void WidestPathCache::invalidate_source(HostIndex source) {
+  VW_REQUIRE(source < trees_.size(), "WidestPathCache::invalidate_source: out of range");
+  trees_[source].reset();
+}
+
+std::size_t WidestPathCache::invalidate_edge(HostIndex u, HostIndex v, double old_capacity,
+                                             double new_capacity) {
+  VW_REQUIRE(u < trees_.size() && v < trees_.size(),
+             "WidestPathCache::invalidate_edge: vertex out of range");
+  // Normalize to the view's semantics: <= 0 means "edge absent".
+  const double before = old_capacity > 0 ? old_capacity : 0.0;
+  const double after = new_capacity > 0 ? new_capacity : 0.0;
+  if (before == after || u == v) return 0;
+  const bool decrease = after < before;
+  std::size_t dropped = 0;
+  for (auto& tree : trees_) {
+    if (!tree) continue;
+    bool stale;
+    if (decrease) {
+      // Only trees that actually route through u -> v can change.
+      stale = tree->parent[v] && *tree->parent[v] == u;
+    } else {
+      // The widened edge can only matter if it offers a route into v at
+      // least as wide as the tree's current best (>= kills ties too, so
+      // surviving trees match a fresh recompute bit-for-bit).
+      const double wu = tree->width[u];
+      stale = wu > -std::numeric_limits<double>::infinity() &&
+              std::min(wu, after) >= tree->width[v];
+    }
+    if (stale) {
+      tree.reset();
+      ++dropped;
+    }
+  }
+  return dropped;
+}
+
+bool WidestPathCache::is_cached(HostIndex source) const {
+  VW_REQUIRE(source < trees_.size(), "WidestPathCache::is_cached: out of range");
+  return trees_[source] != nullptr;
+}
+
+std::size_t WidestPathCache::cached_trees() const {
+  std::size_t live = 0;
+  for (const auto& tree : trees_) {
+    if (tree) ++live;
+  }
+  return live;
+}
+
 // --- the adapted Dijkstra ----------------------------------------------------
 
 WidestPathTree widest_paths(const AdjacencyView& view, HostIndex source) {

@@ -71,6 +71,34 @@ class WidestPathCache {
   /// Drop every memoized tree (call after AdjacencyView::update).
   void invalidate();
 
+  /// Drop only the memoized tree rooted at `source`.
+  void invalidate_source(HostIndex source);
+
+  /// Scoped invalidation for a single edge-capacity change u -> v from
+  /// `old_capacity` to `new_capacity` (values as seen by the view, i.e. <= 0
+  /// means "edge absent"). Must be called BEFORE or AFTER the matching
+  /// AdjacencyView::update — it only inspects the memoized trees, not the
+  /// view. Drops exactly the trees whose widest-path structure the change
+  /// can affect, so survivors remain bit-identical to a fresh recompute:
+  ///
+  ///  - decrease: only trees routing through u -> v (parent[v] == u) can
+  ///    change — every other tree's paths avoid the edge and its widths are
+  ///    reached without it.
+  ///  - increase: a tree can only improve if the new edge offers a wider
+  ///    route into v, i.e. min(width[u], new_capacity) >= width[v]. The >=
+  ///    (not >) also drops equal-width ties, where a fresh recompute could
+  ///    pick a different parent chain — survivors stay bit-identical.
+  ///
+  /// Returns the number of trees dropped.
+  std::size_t invalidate_edge(HostIndex u, HostIndex v, double old_capacity,
+                              double new_capacity);
+
+  /// Whether a memoized tree for `source` is live.
+  bool is_cached(HostIndex source) const;
+
+  /// Number of live memoized trees.
+  std::size_t cached_trees() const;
+
   std::size_t hits() const { return hits_; }
   std::size_t misses() const { return misses_; }
 

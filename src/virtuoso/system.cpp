@@ -77,6 +77,15 @@ VirtuosoSystem::VirtuosoSystem(sim::Simulator& sim, net::Network& network, Syste
   // entries stop answering queries once they outlive it.
   view_.set_clock([this] { return sim_.now(); });
   view_.set_staleness_horizon(config_.view_staleness_horizon);
+  if (config_.warm_start.enabled) {
+    // Deltas drive the warm path; fallbacks mirror what capacity_graph()
+    // assumes for unmeasured pairs so a patched incumbent and a rebuilt
+    // graph agree on invalidated entries.
+    view_.enable_delta_tracking();
+    config_.warm_start.fallback_bandwidth_bps = config_.default_bandwidth_bps;
+    config_.warm_start.fallback_latency_s = 0.001;
+    warm_ = std::make_unique<vadapt::WarmStartOptimizer>(config_.warm_start);
+  }
   if (!config_.capture_dir.empty()) {
     capture_ = std::make_unique<wren::CaptureSession>(network_, config_.capture_dir,
                                                       config_.capture);
@@ -100,6 +109,10 @@ VirtuosoSystem::VirtuosoSystem(sim::Simulator& sim, net::Network& network, Syste
     c_migration_failures_ = s.counter("virtuoso.migrations.failed");
     c_replans_ = s.counter("virtuoso.replans");
     c_daemons_dead_ = s.counter("virtuoso.daemons.declared_dead");
+    c_warm_starts_ = s.counter("virtuoso.adapt.warm_starts");
+    c_cold_starts_ = s.counter("virtuoso.adapt.cold_starts");
+    h_warm_delta_pairs_ = s.histogram("vadapt.warm.delta_pairs");
+    if (warm_) warm_->params().obs = s;
     if (capture_) capture_->set_obs(s);
   }
 }
@@ -605,8 +618,48 @@ AdaptationOutcome VirtuosoSystem::adapt_now(AdaptationAlgorithm algorithm) {
   refresh_view_before_planning();
   const std::vector<vadapt::Demand> demands = current_demands();
   if (federation_ != nullptr) prepare_federation_for_plan(demands);
-  const vadapt::CapacityGraph graph = capacity_graph();
   const std::size_t n_vms = vms_.size();
+
+  // Warm-start entry point (DESIGN.md §5j): every adaptation trigger —
+  // manual, auto, cooldown-deferred failure re-plan, federated — lands here,
+  // so they all ride the streaming path when the incumbent still fits.
+  if (warm_ != nullptr) {
+    wren::ViewDelta delta = view_.drain_delta();
+    if (n_vms >= config_.warm_start.min_vms &&
+        warm_->compatible(live_daemon_hosts(), demands, n_vms) &&
+        warm_->delta_acceptable(delta)) {
+      ++warm_starts_;
+      obs::add(c_warm_starts_);
+      obs::record(h_warm_delta_pairs_, static_cast<double>(delta.pair_count()));
+      // A fresh named stream per adaptation epoch: warm bursts never
+      // perturb the RNG streams the cold algorithms draw from.
+      Rng rng = rng_service_.stream("vadapt.warm.burst." + std::to_string(warm_epoch_++));
+      const vadapt::WarmAdaptStats stats = warm_->adapt(delta, demands, std::move(rng));
+      AdaptationOutcome outcome;
+      outcome.migrations = apply_configuration(warm_->graph(), demands, warm_->incumbent());
+      outcome.configuration = warm_->incumbent();
+      outcome.evaluation = warm_->evaluation();
+      outcome.demands = demands;
+      outcome.hosts = warm_->graph().hosts();
+      adapt_span.arg("warm", "1");
+      adapt_span.arg("demands", std::to_string(demands.size()));
+      adapt_span.arg("migrations", std::to_string(outcome.migrations));
+      if (config_.logger) {
+        config_.logger->info(
+            "vadapt", logcat("warm adaptation: cost=", outcome.evaluation.cost / 1e6,
+                             " Mb/s delta_pairs=", stats.delta_pairs, " targets=",
+                             stats.target_demands, " bursts=", stats.burst_groups));
+      }
+      return outcome;
+    }
+    // Cold fallback: no/incompatible incumbent, too-small problem, or a
+    // delta past the warm threshold. The delta is already drained — the
+    // cold solve below re-snapshots the view from scratch.
+    ++cold_starts_;
+    obs::add(c_cold_starts_);
+  }
+
+  const vadapt::CapacityGraph graph = capacity_graph();
 
   vadapt::Configuration conf;
   vadapt::Evaluation eval;
@@ -656,6 +709,9 @@ AdaptationOutcome VirtuosoSystem::adapt_now(AdaptationAlgorithm algorithm) {
       break;
     }
   }
+
+  // The cold result seeds the next warm adaptation's incumbent.
+  if (warm_ != nullptr) warm_->adopt(graph, demands, n_vms, conf, config_.objective);
 
   AdaptationOutcome outcome;
   outcome.migrations = apply_configuration(graph, demands, conf);

@@ -23,6 +23,7 @@
 #include "vadapt/multistart.hpp"
 #include "vadapt/problem.hpp"
 #include "vadapt/reservations.hpp"
+#include "vadapt/warm_start.hpp"
 #include "vm/machine.hpp"
 #include "vm/migration.hpp"
 #include "vnet/control.hpp"
@@ -67,6 +68,13 @@ struct SystemConfig {
   /// kMultiStartAnnealing settings; `annealing` above and a seed derived
   /// from `seed` are filled in at adaptation time.
   vadapt::MultiStartParams multistart;
+  /// Continuous warm-start adaptation (DESIGN.md §5j). When enabled, the
+  /// view tracks deltas and adapt_now() patches + burst-anneals the live
+  /// incumbent instead of re-solving from scratch, falling back to the cold
+  /// algorithm when the incumbent is missing/stale, the problem is small
+  /// (warm_start.min_vms floor), or the delta is too large. The fallback
+  /// capacities are overwritten from default_bandwidth_bps at construction.
+  vadapt::WarmStartParams warm_start;
   vm::MigrationParams migration;
   /// Control-plane delivery robustness (health checks, reconnect backoff,
   /// resend window).
@@ -241,6 +249,15 @@ class VirtuosoSystem {
   void disable_auto_adaptation();
   std::uint64_t auto_adaptations() const { return auto_adaptations_; }
 
+  /// Adaptations served warm (delta patch + burst) vs cold (from-scratch
+  /// solve) since construction. Cold counts only when warm-start is enabled
+  /// — with the knob off every adaptation is cold by definition and neither
+  /// counter moves.
+  std::uint64_t warm_starts() const { return warm_starts_; }
+  std::uint64_t cold_starts() const { return cold_starts_; }
+  /// The live warm-start optimizer; null when warm_start.enabled is false.
+  vadapt::WarmStartOptimizer* warm_optimizer() { return warm_.get(); }
+
   /// Apply an externally computed configuration.
   std::size_t apply_configuration(const vadapt::CapacityGraph& graph,
                                   const std::vector<vadapt::Demand>& demands,
@@ -352,6 +369,12 @@ class VirtuosoSystem {
   /// spawn/join per adaptation was pure overhead. Workers are parked
   /// between batches, so an idle pool costs nothing in virtual time.
   std::unique_ptr<ThreadPool> annealing_pool_;
+  /// Live across adaptations when warm_start.enabled; holds the incumbent
+  /// configuration + evaluator residual state between adapt_now() calls.
+  std::unique_ptr<vadapt::WarmStartOptimizer> warm_;
+  std::uint64_t warm_starts_ = 0;
+  std::uint64_t cold_starts_ = 0;
+  std::uint64_t warm_epoch_ = 0;  ///< names the per-adapt burst RNG stream
   obs::Counter* c_adaptations_ = nullptr;
   obs::Counter* c_migrations_issued_ = nullptr;
   obs::Counter* c_reservations_granted_ = nullptr;
@@ -360,6 +383,9 @@ class VirtuosoSystem {
   obs::Counter* c_migration_failures_ = nullptr;
   obs::Counter* c_replans_ = nullptr;
   obs::Counter* c_daemons_dead_ = nullptr;
+  obs::Counter* c_warm_starts_ = nullptr;
+  obs::Counter* c_cold_starts_ = nullptr;
+  obs::Histogram* h_warm_delta_pairs_ = nullptr;
 };
 
 }  // namespace vw::virtuoso

@@ -17,6 +17,9 @@ bool GlobalNetworkView::update_bandwidth(net::NodeId from, net::NodeId to, doubl
     return false;
   }
   PathMeasurement& m = entries_[{from, to}];
+  if (track_delta_ && (!m.has_bandwidth || m.bandwidth_bps != bps)) {
+    delta_.note_bandwidth(from, to, bps);
+  }
   m.bandwidth_bps = bps;
   m.has_bandwidth = true;
   m.updated_at = at;
@@ -32,6 +35,9 @@ bool GlobalNetworkView::update_latency(net::NodeId from, net::NodeId to, double 
     return false;
   }
   PathMeasurement& m = entries_[{from, to}];
+  if (track_delta_ && (!m.has_latency || m.latency_s != seconds)) {
+    delta_.note_latency(from, to, seconds);
+  }
   m.latency_s = seconds;
   m.has_latency = true;
   m.updated_at = at;
@@ -80,19 +86,24 @@ std::vector<std::tuple<net::NodeId, net::NodeId, double>> GlobalNetworkView::ban
 }
 
 void GlobalNetworkView::invalidate(net::NodeId from, net::NodeId to) {
-  entries_.erase({from, to});
+  auto it = entries_.find({from, to});
+  if (it == entries_.end()) return;
+  if (track_delta_) delta_.note_invalidated(from, to);
+  entries_.erase(it);
 }
 
 std::size_t GlobalNetworkView::invalidate_host(net::NodeId host) {
   std::size_t removed = 0;
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (it->first.first == host || it->first.second == host) {
+      if (track_delta_) delta_.note_invalidated(it->first.first, it->first.second);
       it = entries_.erase(it);
       ++removed;
     } else {
       ++it;
     }
   }
+  if (track_delta_ && removed > 0) delta_.note_host_invalidated(host);
   return removed;
 }
 
@@ -101,6 +112,7 @@ std::size_t GlobalNetworkView::expire_stale() {
   std::size_t removed = 0;
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (!is_fresh(it->second)) {
+      if (track_delta_) delta_.note_invalidated(it->first.first, it->first.second);
       it = entries_.erase(it);
       ++removed;
     } else {

@@ -8,6 +8,7 @@
 #include "net/packet.hpp"
 #include "obs/scope.hpp"
 #include "util/time.hpp"
+#include "wren/delta.hpp"
 
 // The "bird's eye view of the physical network": pairwise available
 // bandwidth and latency among the hosts running VNET daemons. Maintained at
@@ -100,12 +101,32 @@ class GlobalNetworkView {
   /// Attach telemetry (wren.view.rejected_reports counter).
   void set_obs(const obs::Scope& scope);
 
+  // --- delta tracking ---------------------------------------------------------
+  /// Start accumulating a ViewDelta describing every subsequent change to
+  /// the view (value-changing updates, invalidations, host drops, staleness
+  /// expiries). Off by default — tracking costs a map insert per change.
+  void enable_delta_tracking() { track_delta_ = true; }
+  bool delta_tracking_enabled() const { return track_delta_; }
+
+  /// Take the accumulated delta since the last drain (empty if tracking is
+  /// disabled) and reset the accumulator.
+  ViewDelta drain_delta() {
+    ViewDelta out = std::move(delta_);
+    delta_.clear();
+    return out;
+  }
+
+  /// Peek at the accumulated delta without draining it.
+  const ViewDelta& pending_delta() const { return delta_; }
+
  private:
   std::map<std::pair<net::NodeId, net::NodeId>, PathMeasurement> entries_;
   SimTime staleness_horizon_ = 0;
   std::function<SimTime()> clock_;
   std::uint64_t rejected_reports_ = 0;
   obs::Counter* c_rejected_ = nullptr;
+  bool track_delta_ = false;
+  ViewDelta delta_;
 };
 
 }  // namespace vw::wren

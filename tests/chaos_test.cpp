@@ -391,12 +391,13 @@ struct ChaosResult {
 
 // The examples/chaos_cluster scenario, compacted: cut the inter-domain link
 // while the first adaptation's migrations are crossing it.
-ChaosResult run_chaos_scenario(std::uint64_t seed) {
+ChaosResult run_chaos_scenario(std::uint64_t seed, bool warm_start = false) {
   sim::Simulator sim;
   topo::ChallengeNetwork tb = topo::make_challenge_network(sim);
 
   virtuoso::SystemConfig config;
   config.seed = seed;
+  config.warm_start.enabled = warm_start;
   config.telemetry = false;
   config.view_staleness_horizon = seconds(10.0);
   config.control_heartbeat_period = seconds(1.0);
@@ -509,6 +510,89 @@ TEST(ChaosScenarioTest, DatapathOverhaulPreservesGoldenSignatures) {
   // and the value is identical on the serial and sharded engines.
   EXPECT_EQ(run_chaos_scenario(42).signature, "6,7,5,2,4,1,3,8,3,6,158,843,3");
   EXPECT_EQ(run_chaos_scenario(7).signature, "6,7,5,2,4,1,3,8,3,6,158,843,3");
+}
+
+TEST(WarmStartGoldenTest, ChaosSignaturesIdenticalWithKnobOnAndOff) {
+  // The warm-start knob must be inert for this scenario: 4 VMs sits below the
+  // default WarmStartParams::min_vms floor, so every adaptation falls back to
+  // the cold planner and consumes exactly the same RNG streams. Any drift here
+  // means the warm path leaked state (delta drain, RNG, counters) into the
+  // cold trajectory.
+  for (std::uint64_t seed : {std::uint64_t{42}, std::uint64_t{7}}) {
+    EXPECT_EQ(run_chaos_scenario(seed, /*warm_start=*/true).signature,
+              "6,7,5,2,4,1,3,8,3,6,158,843,3")
+        << "seed " << seed;
+    EXPECT_EQ(run_chaos_scenario(seed, /*warm_start=*/false).signature,
+              "6,7,5,2,4,1,3,8,3,6,158,843,3")
+        << "seed " << seed;
+  }
+}
+
+TEST(WarmStartGoldenTest, SystemRoutesSecondAdaptationThroughWarmPath) {
+  // End-to-end wiring check: with the min_vms floor lowered, the first
+  // adaptation is a cold solve that seeds the incumbent, and a subsequent
+  // single-pair measurement shift re-adapts through the warm optimizer.
+  sim::Simulator sim;
+  topo::ChallengeNetwork tb = topo::make_challenge_network(sim);
+
+  virtuoso::SystemConfig config;
+  config.seed = 42;
+  config.telemetry = false;
+  config.view_staleness_horizon = seconds(60.0);
+  config.warm_start.enabled = true;
+  config.warm_start.min_vms = 1;
+  virtuoso::VirtuosoSystem system(sim, *tb.network, config);
+
+  bool first = true;
+  for (net::NodeId h : tb.hosts()) {
+    system.add_daemon(h, tb.network->node(h).name, first);
+    first = false;
+  }
+  system.bootstrap(vnet::LinkProtocol::kUdp);
+
+  const std::uint64_t mem = 8ull << 20;
+  vm::VirtualMachine& v0 = system.create_vm("vm-0", tb.domain1_hosts[0], mem);
+  vm::VirtualMachine& v1 = system.create_vm("vm-1", tb.domain1_hosts[1], mem);
+  vm::VirtualMachine& v2 = system.create_vm("vm-2", tb.domain2_hosts[0], mem);
+  vm::VirtualMachine& v3 = system.create_vm("vm-3", tb.domain2_hosts[1], mem);
+  const std::vector<vm::VirtualMachine*> vms = {&v0, &v1, &v2, &v3};
+
+  vm::apps::DemandMatrix matrix;
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      if (i != j) matrix[{i, j}] = 8e6;
+    }
+  }
+  matrix[{0, 3}] = matrix[{3, 0}] = 0.5e6;
+  vm::apps::MatrixTrafficApp app(sim, vms, matrix, millis(100));
+  app.start();
+
+  const topo::ChallengeScenario truth = topo::make_challenge_scenario();
+  const auto hosts = tb.hosts();
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    for (std::size_t j = 0; j < hosts.size(); ++j) {
+      if (i == j) continue;
+      system.network_view().update_bandwidth(hosts[i], hosts[j], truth.graph.bandwidth(i, j),
+                                             sim.now());
+      system.network_view().update_latency(hosts[i], hosts[j], truth.graph.latency(i, j),
+                                           sim.now());
+    }
+  }
+
+  sim.run_until(seconds(5.0));
+  system.adapt_now(virtuoso::AdaptationAlgorithm::kGreedy);
+  EXPECT_EQ(system.cold_starts(), 1u);
+  EXPECT_EQ(system.warm_starts(), 0u);
+
+  // A single measurement shift: exactly the streaming-delta case the warm
+  // optimizer exists for.
+  sim.run_until(seconds(10.0));
+  system.network_view().update_bandwidth(hosts[0], hosts[1], truth.graph.bandwidth(0, 1) * 0.5,
+                                         sim.now());
+  system.adapt_now(virtuoso::AdaptationAlgorithm::kGreedy);
+  EXPECT_EQ(system.warm_starts(), 1u);
+  EXPECT_EQ(system.cold_starts(), 1u);
+  app.stop();
 }
 
 // --- liveness-sweep -> replan ordering ---------------------------------------

@@ -19,10 +19,15 @@
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 #include "vadapt/annealing.hpp"
+#include "vadapt/cluster.hpp"
 #include "vadapt/greedy.hpp"
 #include "vadapt/incremental.hpp"
 #include "vadapt/multistart.hpp"
 #include "vadapt/problem.hpp"
+#include "vadapt/warm_start.hpp"
+#include "vadapt/widest_path.hpp"
+#include "wren/delta.hpp"
+#include "wren/view.hpp"
 
 namespace vw::vadapt {
 namespace {
@@ -357,6 +362,390 @@ TEST(CapacityGraphTest, IndexOfHashedLookup) {
 TEST(CapacityGraphTest, IndexOfDuplicateKeepsFirst) {
   CapacityGraph g({7, 7, 9});
   EXPECT_EQ(g.index_of(7), std::optional<HostIndex>(0));
+}
+
+// --- warm start: scoped widest-path cache invalidation --------------------------
+
+void expect_tree_equal(const WidestPathTree& a, const WidestPathTree& b, HostIndex source) {
+  ASSERT_EQ(a.source, b.source) << "source " << source;
+  ASSERT_EQ(a.width, b.width) << "widths diverged for source " << source;
+  ASSERT_EQ(a.parent, b.parent) << "parents diverged for source " << source;
+}
+
+TEST(WarmStartWidestCacheTest, UntouchedSourceTreesSurviveSingleEdgeUpdate) {
+  const CapacityGraph graph = random_graph(12, 91);
+  AdjacencyView view(graph.bandwidth_matrix());
+  WidestPathCache cache(view);
+  for (HostIndex s = 0; s < graph.size(); ++s) cache.tree(s);
+  ASSERT_EQ(cache.cached_trees(), graph.size());
+
+  // Decrease edge 3 -> 7: only trees routing v=7 through u=3 may drop.
+  const double before = view.capacity(3, 7);
+  const double after = before * 0.25;
+  std::size_t expected_drops = 0;
+  for (HostIndex s = 0; s < graph.size(); ++s) {
+    const WidestPathTree& t = cache.tree(s);
+    if (t.parent[7] && *t.parent[7] == 3) ++expected_drops;
+  }
+  view.update(3, 7, after);
+  const std::size_t dropped = cache.invalidate_edge(3, 7, before, after);
+  EXPECT_EQ(dropped, expected_drops);
+  EXPECT_EQ(cache.cached_trees(), graph.size() - dropped);
+  EXPECT_LT(dropped, graph.size()) << "a single edge must not clear the whole cache";
+
+  // The satellite contract: every survivor is bit-identical to a fresh
+  // recompute over the updated view.
+  for (HostIndex s = 0; s < graph.size(); ++s) {
+    if (!cache.is_cached(s)) continue;
+    expect_tree_equal(cache.tree(s), widest_paths(view, s), s);
+  }
+}
+
+TEST(WarmStartWidestCacheTest, SurvivorsMatchFreshRecomputeOverRandomUpdates) {
+  const std::size_t n = 10;
+  const CapacityGraph graph = random_graph(n, 123);
+  AdjacencyView view(graph.bandwidth_matrix());
+  WidestPathCache cache(view);
+  Rng rng(321);
+  std::size_t survivors_checked = 0;
+  for (std::size_t step = 0; step < 300; ++step) {
+    for (HostIndex s = 0; s < n; ++s) cache.tree(s);  // refill misses
+    const auto u = static_cast<HostIndex>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    auto v = static_cast<HostIndex>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    if (u == v) v = (v + 1) % n;
+    const double before = view.capacity(u, v);
+    // Mix decreases, increases, deletions (<= 0), and resurrections.
+    const double after = rng.chance(0.1) ? 0.0 : rng.uniform(1e6, 600e6);
+    view.update(u, v, after);
+    cache.invalidate_edge(u, v, before, after);
+    for (HostIndex s = 0; s < n; ++s) {
+      if (!cache.is_cached(s)) continue;
+      expect_tree_equal(cache.tree(s), widest_paths(view, s), s);
+      ++survivors_checked;
+    }
+  }
+  EXPECT_GT(survivors_checked, 300u) << "invalidation was effectively wholesale";
+}
+
+TEST(WarmStartWidestCacheTest, InvalidateSourceDropsExactlyOneTree) {
+  const CapacityGraph graph = random_graph(6, 55);
+  AdjacencyView view(graph.bandwidth_matrix());
+  WidestPathCache cache(view);
+  for (HostIndex s = 0; s < graph.size(); ++s) cache.tree(s);
+  cache.invalidate_source(2);
+  EXPECT_FALSE(cache.is_cached(2));
+  EXPECT_EQ(cache.cached_trees(), graph.size() - 1);
+  const std::size_t misses = cache.misses();
+  cache.tree(2);
+  EXPECT_EQ(cache.misses(), misses + 1);
+}
+
+// --- warm start: view delta protocol --------------------------------------------
+
+TEST(WarmStartViewDeltaTest, TrackingRecordsValueChangesAndInvalidations) {
+  wren::GlobalNetworkView view;
+  view.update_bandwidth(1, 2, 100e6, 0);  // before tracking: not recorded
+  view.enable_delta_tracking();
+  EXPECT_TRUE(view.pending_delta().empty());
+
+  view.update_bandwidth(1, 2, 100e6, 1);  // same value: no delta entry
+  EXPECT_TRUE(view.pending_delta().empty());
+  view.update_bandwidth(1, 2, 80e6, 2);
+  view.update_latency(3, 4, 0.005, 2);
+  view.invalidate(1, 2);
+  view.update_bandwidth(5, 6, 50e6, 3);
+
+  wren::ViewDelta delta = view.drain_delta();
+  EXPECT_TRUE(view.pending_delta().empty()) << "drain must reset the accumulator";
+  ASSERT_EQ(delta.pair_count(), 3u);
+  // Invalidation supersedes the earlier bandwidth change on (1,2).
+  const wren::PairDelta& p12 = delta.pairs().at({1, 2});
+  EXPECT_TRUE(p12.invalidated);
+  EXPECT_FALSE(p12.bandwidth_changed);
+  const wren::PairDelta& p34 = delta.pairs().at({3, 4});
+  EXPECT_TRUE(p34.latency_changed);
+  EXPECT_EQ(p34.latency_s, 0.005);
+  const wren::PairDelta& p56 = delta.pairs().at({5, 6});
+  EXPECT_TRUE(p56.bandwidth_changed);
+  EXPECT_EQ(p56.bandwidth_bps, 50e6);
+}
+
+TEST(WarmStartViewDeltaTest, HostInvalidationAndMerge) {
+  wren::GlobalNetworkView view;
+  view.enable_delta_tracking();
+  view.update_bandwidth(1, 2, 10e6, 0);
+  view.update_bandwidth(2, 3, 20e6, 0);
+  wren::ViewDelta first = view.drain_delta();
+
+  view.invalidate_host(2);
+  wren::ViewDelta second = view.drain_delta();
+  EXPECT_EQ(second.invalidated_hosts().count(2), 1u);
+  EXPECT_TRUE(second.pairs().at({1, 2}).invalidated);
+  EXPECT_TRUE(second.pairs().at({2, 3}).invalidated);
+
+  first.merge(second);
+  EXPECT_TRUE(first.pairs().at({1, 2}).invalidated);
+  EXPECT_FALSE(first.pairs().at({1, 2}).bandwidth_changed);
+}
+
+// --- warm start: optimizer ------------------------------------------------------
+
+/// A cheap but real from-scratch solve used as the differential oracle.
+Configuration cold_solve(const CapacityGraph& graph, const std::vector<Demand>& demands,
+                         std::size_t n_vms, double* cost_out) {
+  const GreedyResult gh = greedy_heuristic(graph, demands, n_vms);
+  MultiStartParams params;
+  params.chains = 2;
+  params.threads = 1;
+  params.seed = 4242;
+  params.annealing.iterations = 800;
+  params.annealing.trace_stride = 800;
+  const MultiStartResult result =
+      multi_start_annealing(graph, demands, n_vms, Objective{}, params, gh.configuration);
+  if (cost_out != nullptr) *cost_out = result.best.best_evaluation.cost;
+  return result.best.best;
+}
+
+TEST(WarmStartOptimizerTest, EmptyDeltaLeavesIncumbentBitIdentical) {
+  const std::size_t n_hosts = 16;
+  const std::size_t n_vms = 8;
+  const CapacityGraph graph = random_graph(n_hosts, 7);
+  Rng demand_rng(8);
+  const std::vector<Demand> demands = mixed_demands(n_vms, demand_rng);
+  const Configuration conf = cold_solve(graph, demands, n_vms, nullptr);
+
+  WarmStartOptimizer warm;
+  warm.adopt(graph, demands, n_vms, conf);
+  const double cost = warm.evaluation().cost;
+
+  const WarmAdaptStats stats = warm.adapt(wren::ViewDelta{}, demands, Rng(999));
+  EXPECT_EQ(stats.patched_edges, 0u);
+  EXPECT_EQ(stats.rate_changes, 0u);
+  EXPECT_EQ(stats.burst_iterations, 0u);
+  EXPECT_EQ(warm.evaluation().cost, cost);
+  EXPECT_EQ(warm.incumbent().mapping, conf.mapping);
+  EXPECT_EQ(warm.incumbent().paths, conf.paths);
+}
+
+TEST(WarmStartOptimizerTest, DifferentialWalkTracksFromScratch) {
+  const std::size_t n_hosts = 16;
+  const std::size_t n_vms = 8;
+  CapacityGraph graph = random_graph(n_hosts, 17);  // mutable mirror of the "true" network
+  Rng demand_rng(18);
+  const std::vector<Demand> demands = mixed_demands(n_vms, demand_rng);
+
+  WarmStartParams params;
+  params.min_burst_iterations = 300;
+  params.max_burst_iterations = 2000;
+  WarmStartOptimizer warm(params);
+  warm.adopt(graph, demands, n_vms, cold_solve(graph, demands, n_vms, nullptr));
+
+  Rng rng(19);
+  constexpr double kTolerance = 0.2;  // warm cost >= (1 - tol) * cold cost
+  std::size_t oracle_checks = 0;
+  for (std::size_t step = 0; step < 1000; ++step) {
+    // One random single-entry delta: a directed pair's bandwidth moves.
+    const auto u = static_cast<HostIndex>(
+        rng.uniform_int(0, static_cast<std::int64_t>(n_hosts) - 1));
+    auto v = static_cast<HostIndex>(
+        rng.uniform_int(0, static_cast<std::int64_t>(n_hosts) - 1));
+    if (u == v) v = (v + 1) % n_hosts;
+    const double bw = rng.uniform(5e6, 500e6);
+    graph.set_bandwidth(u, v, bw);
+    wren::ViewDelta delta;
+    delta.note_bandwidth(graph.host(u), graph.host(v), bw);
+
+    const WarmAdaptStats stats =
+        warm.adapt(delta, demands, Rng(1000 + static_cast<std::uint64_t>(step)));
+    EXPECT_EQ(stats.delta_pairs, 1u);
+    EXPECT_GE(stats.cost_after, stats.cost_before) << "step " << step;
+    EXPECT_EQ(warm.graph().bandwidth(u, v), bw);
+
+    // The committed incumbent must score exactly what the evaluator claims.
+    const Evaluation check = evaluate(warm.graph(), warm.demands(), warm.incumbent());
+    ASSERT_EQ(warm.evaluation().cost, check.cost) << "step " << step;
+
+    // Differential oracle every few steps (the cold solve dominates runtime).
+    if (step % 25 == 0) {
+      double cold_cost = 0;
+      cold_solve(graph, demands, n_vms, &cold_cost);
+      ASSERT_GT(cold_cost, 0.0) << "oracle degenerate at step " << step;
+      EXPECT_GE(warm.evaluation().cost, (1.0 - kTolerance) * cold_cost)
+          << "warm drifted away from from-scratch at step " << step;
+      ++oracle_checks;
+    }
+  }
+  EXPECT_EQ(oracle_checks, 40u);
+}
+
+TEST(WarmStartOptimizerTest, RateDriftIsPatchedInPlace) {
+  const std::size_t n_hosts = 12;
+  const std::size_t n_vms = 6;
+  const CapacityGraph graph = random_graph(n_hosts, 29);
+  Rng demand_rng(30);
+  std::vector<Demand> demands = mixed_demands(n_vms, demand_rng);
+  WarmStartOptimizer warm;
+  warm.adopt(graph, demands, n_vms, cold_solve(graph, demands, n_vms, nullptr));
+
+  demands[0].rate_bps *= 2.5;  // VTTIF reports a hotter flow
+  demands[3].rate_bps *= 0.1;
+  const WarmAdaptStats stats = warm.adapt(wren::ViewDelta{}, demands, Rng(31));
+  EXPECT_EQ(stats.rate_changes, 2u);
+  EXPECT_GT(stats.burst_iterations, 0u);
+  EXPECT_EQ(warm.demands()[0].rate_bps, demands[0].rate_bps);
+  const Evaluation check = evaluate(warm.graph(), demands, warm.incumbent());
+  EXPECT_EQ(warm.evaluation().cost, check.cost);
+}
+
+TEST(WarmStartOptimizerTest, InvalidatedPairFallsBackToConfiguredCapacity) {
+  const CapacityGraph graph = random_graph(10, 47);
+  Rng demand_rng(48);
+  const std::vector<Demand> demands = mixed_demands(5, demand_rng);
+  WarmStartParams params;
+  params.fallback_bandwidth_bps = 123e6;
+  params.fallback_latency_s = 0.002;
+  WarmStartOptimizer warm(params);
+  warm.adopt(graph, demands, 5, cold_solve(graph, demands, 5, nullptr));
+
+  wren::ViewDelta delta;
+  delta.note_invalidated(graph.host(2), graph.host(5));
+  warm.adapt(delta, demands, Rng(49));
+  EXPECT_EQ(warm.graph().bandwidth(2, 5), 123e6);
+  EXPECT_EQ(warm.graph().latency(2, 5), 0.002);
+}
+
+TEST(WarmStartOptimizerTest, CompatibilityGuards) {
+  const CapacityGraph graph = random_graph(8, 61);
+  Rng demand_rng(62);
+  const std::vector<Demand> demands = mixed_demands(4, demand_rng);
+  WarmStartOptimizer warm;
+  EXPECT_FALSE(warm.has_incumbent());
+  EXPECT_FALSE(warm.compatible(graph.hosts(), demands, 4));
+
+  warm.adopt(graph, demands, 4, cold_solve(graph, demands, 4, nullptr));
+  EXPECT_TRUE(warm.compatible(graph.hosts(), demands, 4));
+
+  std::vector<Demand> drifted = demands;
+  drifted[0].rate_bps += 1e6;  // rates may drift...
+  EXPECT_TRUE(warm.compatible(graph.hosts(), drifted, 4));
+  drifted[0].dst = (drifted[0].dst + 1) % 4;  // ...endpoints may not
+  EXPECT_FALSE(warm.compatible(graph.hosts(), drifted, 4));
+
+  std::vector<net::NodeId> fewer_hosts = graph.hosts();
+  fewer_hosts.pop_back();  // a daemon died
+  EXPECT_FALSE(warm.compatible(fewer_hosts, demands, 4));
+  EXPECT_FALSE(warm.compatible(graph.hosts(), demands, 5));
+
+  // Delta-size guard: 8 hosts -> 56 directed pairs; default threshold 25%.
+  wren::ViewDelta small;
+  small.note_bandwidth(graph.host(0), graph.host(1), 1e6);
+  EXPECT_TRUE(warm.delta_acceptable(small));
+  wren::ViewDelta big;
+  for (HostIndex i = 0; i < 8; ++i) {
+    for (HostIndex j = 0; j < 8; ++j) {
+      if (i != j) big.note_bandwidth(graph.host(i), graph.host(j), 1e6);
+    }
+  }
+  EXPECT_FALSE(warm.delta_acceptable(big));
+
+  warm.invalidate();
+  EXPECT_FALSE(warm.has_incumbent());
+}
+
+// --- warm start: hierarchical decomposition -------------------------------------
+
+/// A demand set with clear communities: dense rings inside each block of
+/// `block` VMs, plus a weak chain between consecutive blocks.
+std::vector<Demand> community_demands(std::size_t n_vms, std::size_t block, Rng& rng) {
+  std::vector<Demand> demands;
+  for (std::size_t b = 0; b * block < n_vms; ++b) {
+    const std::size_t lo = b * block;
+    const std::size_t hi = std::min(lo + block, n_vms);
+    for (std::size_t i = lo; i < hi; ++i) {
+      const std::size_t j = i + 1 < hi ? i + 1 : lo;
+      if (j != i) demands.push_back({i, j, rng.uniform(40e6, 80e6)});
+    }
+    if (lo > 0) demands.push_back({lo - 1, lo, rng.uniform(1e6, 2e6)});  // weak bridge
+  }
+  return demands;
+}
+
+TEST(WarmStartClusterTest, FindsTrafficCommunitiesDeterministically) {
+  Rng rng(71);
+  const std::vector<Demand> demands = community_demands(24, 8, rng);
+  const ClusterAssignment a = cluster_vms_by_traffic(demands, 24);
+  const ClusterAssignment b = cluster_vms_by_traffic(demands, 24);
+  EXPECT_EQ(a.cluster_of, b.cluster_of) << "clustering must be deterministic";
+
+  // Each dense ring must land in one community; the weak bridges must not
+  // glue everything into a single blob.
+  EXPECT_GT(a.size(), 1u);
+  for (std::size_t b_idx = 0; b_idx < 3; ++b_idx) {
+    const std::uint32_t c = a.cluster_of[b_idx * 8];
+    for (std::size_t i = 1; i < 8; ++i) {
+      EXPECT_EQ(a.cluster_of[b_idx * 8 + i], c) << "vm " << (b_idx * 8 + i);
+    }
+  }
+  std::size_t total = 0;
+  for (const auto& members : a.clusters) total += members.size();
+  EXPECT_EQ(total, 24u);
+}
+
+TEST(WarmStartClusterTest, RespectsSizeCapAndHandlesIdleVms) {
+  Rng rng(73);
+  const std::vector<Demand> demands = community_demands(16, 8, rng);
+  ClusterParams params;
+  params.max_cluster_size = 4;
+  const ClusterAssignment a = cluster_vms_by_traffic(demands, 20, params);  // 4 idle VMs
+  for (const auto& members : a.clusters) EXPECT_LE(members.size(), 4u);
+  ASSERT_EQ(a.cluster_of.size(), 20u);
+  for (std::size_t v = 16; v < 20; ++v) {
+    EXPECT_EQ(a.clusters[a.cluster_of[v]].size(), 1u) << "idle vm " << v << " not a singleton";
+  }
+}
+
+TEST(WarmStartOptimizerTest, DecompositionBurstsAreDeterministicAndMonotone) {
+  const std::size_t n_hosts = 48;
+  const std::size_t n_vms = 32;
+  const CapacityGraph graph = random_graph(n_hosts, 83);
+  Rng demand_rng(84);
+  const std::vector<Demand> demands = community_demands(n_vms, 8, demand_rng);
+
+  WarmStartParams params;
+  params.decomposition_min_vms = 16;   // force the hierarchical path
+  params.decomposition_min_targets = 8;
+  params.max_neighborhood = 64;
+  params.max_cluster_size = 8;
+  params.min_burst_iterations = 200;
+  params.max_burst_iterations = 1000;
+
+  const GreedyResult gh = greedy_heuristic(graph, demands, n_vms);
+  WarmStartOptimizer a(params);
+  WarmStartOptimizer b(params);
+  a.adopt(graph, demands, n_vms, gh.configuration);
+  b.adopt(graph, demands, n_vms, gh.configuration);
+
+  // A delta wide enough to touch many demands across communities.
+  wren::ViewDelta delta;
+  Rng rng(85);
+  for (std::size_t k = 0; k < 40; ++k) {
+    const auto u = static_cast<HostIndex>(
+        rng.uniform_int(0, static_cast<std::int64_t>(n_hosts) - 1));
+    auto v = static_cast<HostIndex>(
+        rng.uniform_int(0, static_cast<std::int64_t>(n_hosts) - 1));
+    if (u == v) v = (v + 1) % n_hosts;
+    delta.note_bandwidth(graph.host(u), graph.host(v), rng.uniform(5e6, 500e6));
+  }
+
+  const WarmAdaptStats sa = a.adapt(delta, demands, Rng(86));
+  const WarmAdaptStats sb = b.adapt(delta, demands, Rng(86));
+  EXPECT_GT(sa.burst_groups, 1u) << "expected a decomposed (multi-burst) adapt";
+  EXPECT_GE(sa.cost_after, sa.cost_before);
+  EXPECT_EQ(sa.cost_after, sb.cost_after);
+  EXPECT_EQ(a.incumbent().mapping, b.incumbent().mapping);
+  EXPECT_EQ(a.incumbent().paths, b.incumbent().paths);
+  // Warm bursts are path-only: the mapping (hence VM placement) is stable.
+  EXPECT_EQ(a.incumbent().mapping, gh.configuration.mapping);
 }
 
 }  // namespace

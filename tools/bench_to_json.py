@@ -29,8 +29,17 @@ Two suites:
     — on smaller machines the JSON records ``gate_skipped_reason`` instead,
     because conservative windows cannot beat serial without real cores.
 
+  * ``vadapt_warm`` — wraps ``micro_vadapt_warm`` into
+    BENCH_vadapt_warm.json: warm-start single-link re-adaptation time vs
+    the from-scratch multi-start solve (the system's default cold
+    configuration, serial) on BRITE overlays at 256 and 1024 daemons, plus
+    a delta-size sweep (1/4/16/64 changed pairs at 1024). Two gates: the
+    1024-VM single-link speedup must clear ``--gate`` (default 10.0), and
+    the warm 1024/256 time ratio must stay below the cold ratio — the
+    O(delta)-not-O(problem) scaling check.
+
 Usage:
-    tools/bench_to_json.py [--suite vadapt|datapath|parallel_sim]
+    tools/bench_to_json.py [--suite vadapt|datapath|parallel_sim|vadapt_warm]
                            [--build-dir build] [--output FILE] [--quick]
                            [--gate X]
 
@@ -133,6 +142,42 @@ def parallel_sim_summary(benchmarks: list) -> dict:
     }
 
 
+def real_time_seconds(benchmarks: list, name: str) -> float:
+    for b in benchmarks:
+        if b.get("name") == name and b.get("run_type", "iteration") == "iteration":
+            unit = b.get("time_unit", "ns")
+            scale = {"ns": 1e-9, "us": 1e-6, "ms": 1e-3, "s": 1.0}[unit]
+            return float(b.get("real_time", 0.0)) * scale
+    raise KeyError(f"benchmark {name!r} not found in report")
+
+
+def vadapt_warm_summary(benchmarks: list) -> dict:
+    cold = {n: real_time_seconds(benchmarks, f"BM_ColdFromScratch/{n}") for n in (256, 1024)}
+    warm = {n: real_time_seconds(benchmarks, f"BM_WarmSingleLink/{n}") for n in (256, 1024)}
+    sweep = {k: real_time_seconds(benchmarks, f"BM_WarmDeltaSize/{k}") for k in (1, 4, 16, 64)}
+    return {
+        "problem": {
+            "topology": "BRITE Waxman overlay (complete daemon graph)",
+            "demands": "n-VM ring @ 20 Mb/s, n_vms = n_hosts",
+            "cold": "multi-start SA, system default params (4 chains x 5000 "
+            "iters), serial, no trace",
+            "warm": "WarmStartOptimizer.adapt, one changed directed pair per "
+            "re-adaptation (delta-size sweep: 1/4/16/64 pairs)",
+        },
+        "adapt_time_seconds": {
+            "cold_from_scratch": {f"hosts_{n}": t for n, t in cold.items()},
+            "warm_single_link": {f"hosts_{n}": t for n, t in warm.items()},
+            "warm_delta_sweep_1024": {f"pairs_{k}": t for k, t in sweep.items()},
+        },
+        "speedup_single_link_1024": cold[1024] / warm[1024] if warm[1024] > 0 else None,
+        "speedup_single_link_256": cold[256] / warm[256] if warm[256] > 0 else None,
+        # O(delta) scaling: growing the problem 4x must hurt the warm path
+        # less than it hurts the from-scratch solve.
+        "scaling_ratio_warm_1024_over_256": warm[1024] / warm[256] if warm[256] > 0 else None,
+        "scaling_ratio_cold_1024_over_256": cold[1024] / cold[256] if cold[256] > 0 else None,
+    }
+
+
 SUITES = {
     "vadapt": {
         "binary": "micro_vadapt_incremental",
@@ -151,6 +196,12 @@ SUITES = {
         "output": "BENCH_parallel_sim.json",
         "summarize": parallel_sim_summary,
         "default_gate": 2.5,
+    },
+    "vadapt_warm": {
+        "binary": "micro_vadapt_warm",
+        "output": "BENCH_vadapt_warm.json",
+        "summarize": vadapt_warm_summary,
+        "default_gate": 10.0,
     },
 }
 
@@ -214,6 +265,26 @@ def main() -> int:
             print(f"gate skipped: {result['gate_skipped_reason']}")
         elif gate is not None and (speedup is None or speedup < gate):
             gate_failures.append(f"sharded_star: {speedup:.2f}x < {gate:g}x at 4 shards")
+    elif args.suite == "vadapt_warm":
+        times = result["adapt_time_seconds"]
+        speedup = result["speedup_single_link_1024"]
+        warm_ratio = result["scaling_ratio_warm_1024_over_256"]
+        cold_ratio = result["scaling_ratio_cold_1024_over_256"]
+        print(
+            f"vadapt_warm: cold@1024={times['cold_from_scratch']['hosts_1024']:.3g} s, "
+            f"warm@1024={times['warm_single_link']['hosts_1024']:.3g} s, "
+            f"speedup={speedup:.1f}x; scaling 1024/256 warm={warm_ratio:.2f} "
+            f"cold={cold_ratio:.2f}"
+        )
+        if gate is not None and (speedup is None or speedup < gate):
+            gate_failures.append(
+                f"warm single-link @1024: {speedup:.1f}x < {gate:g}x vs from-scratch"
+            )
+        if gate is not None and warm_ratio >= cold_ratio:
+            gate_failures.append(
+                f"O(delta) scaling: warm 1024/256 ratio {warm_ratio:.2f} >= "
+                f"cold ratio {cold_ratio:.2f}"
+            )
     elif args.suite == "vadapt":
         for key, v in result["sa_iteration_throughput"].items():
             speedup = v["speedup"]
